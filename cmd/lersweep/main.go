@@ -1,0 +1,111 @@
+// Command lersweep regenerates the logical-error-rate curves of thesis
+// Figs 5.11–5.16: the LER of a Surface Code 17 logical qubit versus the
+// physical error rate, with and without a Pauli frame, for logical X and
+// Z errors, over the full range or the pseudo-threshold zoom.
+//
+// Usage:
+//
+//	lersweep -range full -type x -mode both -samples 3 -errors 20
+//	lersweep -range zoom -type z -mode pf -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	rng := flag.String("range", "full", "PER range: full (1e-4..1e-2) or zoom (3e-4..5e-4, thesis Figs 5.12/5.14)")
+	points := flag.Int("points", 9, "number of log-spaced PER points")
+	etype := flag.String("type", "x", "logical error type: x or z")
+	mode := flag.String("mode", "both", "configuration: nopf, pf or both")
+	samples := flag.Int("samples", 3, "repetitions per PER point (thesis: 10)")
+	errors := flag.Int("errors", 20, "logical errors per run before termination (thesis: 50)")
+	maxWindows := flag.Int("maxwindows", 400000, "hard cap on windows per run")
+	seed := flag.Int64("seed", 2017, "base RNG seed")
+	csvPath := flag.String("csv", "", "also write CSV to this file (suffix _pf/_nopf added in both mode)")
+	flag.Parse()
+
+	lo, hi := 1e-4, 1e-2
+	if *rng == "zoom" {
+		lo, hi = 3e-4, 5e-4
+	}
+	et := experiments.LogicalX
+	if strings.EqualFold(*etype, "z") {
+		et = experiments.LogicalZ
+	}
+
+	cfg := experiments.SweepConfig{
+		PERs:             experiments.LogSpace(lo, hi, *points),
+		Samples:          *samples,
+		ErrorType:        et,
+		MaxLogicalErrors: *errors,
+		MaxWindows:       *maxWindows,
+		BaseSeed:         *seed,
+		Progress: func(i int, per float64) {
+			fmt.Fprintf(os.Stderr, "  point %d/%d (PER=%.3e) done\n", i+1, *points, per)
+		},
+	}
+
+	run := func(withPF bool, label string) []experiments.PointResult {
+		c := cfg
+		c.WithPauliFrame = withPF
+		if withPF {
+			c.BaseSeed += 7_777_777
+		}
+		fmt.Fprintf(os.Stderr, "sweep %s (%d points × %d samples, %s errors)...\n",
+			label, *points, *samples, et)
+		pts, err := experiments.RunSweep(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lersweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.Table(pts, fmt.Sprintf("PER vs LER, logical %s errors, %s", et, label)))
+		if th := experiments.PseudoThreshold(pts); th == th { // not NaN
+			fmt.Printf("pseudo-threshold (LER = PER crossing): %.3e  [thesis: ≈3.0e-4]\n\n", th)
+		} else {
+			fmt.Println("pseudo-threshold: no crossing in range")
+		}
+		if *csvPath != "" {
+			path := *csvPath
+			if *mode == "both" {
+				suffix := "_nopf.csv"
+				if withPF {
+					suffix = "_pf.csv"
+				}
+				path = strings.TrimSuffix(path, ".csv") + suffix
+			}
+			if err := os.WriteFile(path, []byte(experiments.CSV(pts)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "lersweep:", err)
+				os.Exit(1)
+			}
+		}
+		return pts
+	}
+
+	switch *mode {
+	case "nopf":
+		run(false, "without Pauli frame (Figs 5.11/5.12)")
+	case "pf":
+		run(true, "with Pauli frame (Figs 5.13/5.14)")
+	case "both":
+		without := run(false, "without Pauli frame (Figs 5.11/5.12)")
+		with := run(true, "with Pauli frame (Figs 5.13/5.14)")
+		fmt.Println("# overlay (Figs 5.15/5.16): PER, LER without PF, LER with PF, delta")
+		for i := range without {
+			if i >= len(with) {
+				break
+			}
+			fmt.Printf("%-12.4e %-12.4e %-12.4e %+.2e\n",
+				without[i].PER, without[i].MeanLER(), with[i].MeanLER(),
+				without[i].MeanLER()-with[i].MeanLER())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lersweep: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

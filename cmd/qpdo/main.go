@@ -1,0 +1,147 @@
+// Command qpdo is the platform driver: it reads a QASM program (thesis
+// §4.1.1 format) and executes it on a configurable QPDO control stack —
+// state-vector or stabilizer core, optional Pauli frame layer, optional
+// depolarizing error layer — then reports the measurement results and,
+// when supported, the final quantum state.
+//
+// Usage:
+//
+//	qpdo -core qx -pf -state program.qasm
+//	echo 'h q0
+//	cnot q0,q1
+//	{ measure q0 | measure q1 }' | qpdo -core chp -shots 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/layers"
+	"repro/internal/qasm"
+	"repro/internal/qpdo"
+	"repro/internal/testbench"
+)
+
+func main() {
+	coreKind := flag.String("core", "qx", "simulation core: qx (state vector) or chp (stabilizer)")
+	usePF := flag.Bool("pf", false, "insert a Pauli frame layer")
+	per := flag.Float64("per", 0, "physical error rate for a depolarizing error layer (0 = none)")
+	shots := flag.Int("shots", 1, "number of executions")
+	seed := flag.Int64("seed", 42, "RNG seed")
+	showState := flag.Bool("state", false, "print the final quantum state (qx core flushes the frame first)")
+	tb := flag.String("tb", "", "run a ready-made test bench instead of a program: bell or gates (thesis §4.2.4)")
+	flag.Parse()
+
+	if *tb != "" {
+		runBench(*tb, *coreKind, *usePF, *shots, *seed)
+		return
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	check(err)
+	prog, err := qasm.Parse(string(src))
+	check(err)
+	fmt.Printf("parsed %d qubits, %d time slots, %d operations\n",
+		prog.Qubits, prog.Circuit.NumSlots(), prog.Circuit.NumOps())
+
+	counts := map[string]int{}
+	for shot := 0; shot < *shots; shot++ {
+		rng := rand.New(rand.NewSource(*seed + int64(shot)))
+		var stack qpdo.Core
+		var pf *layers.PauliFrameLayer
+		switch *coreKind {
+		case "qx":
+			stack = layers.NewQxCore(rng)
+		case "chp":
+			stack = layers.NewChpCore(rng)
+		default:
+			check(fmt.Errorf("unknown core %q", *coreKind))
+		}
+		if *per > 0 {
+			stack = layers.NewErrorLayer(stack, *per, rand.New(rand.NewSource(*seed+int64(1000+shot))))
+		}
+		if *usePF {
+			pf = layers.NewPauliFrameLayer(stack)
+			stack = pf
+		}
+		check(stack.CreateQubits(prog.Qubits))
+		res, err := qpdo.Run(stack, prog.Circuit.Clone())
+		check(err)
+
+		key := ""
+		for _, m := range res.Measurements {
+			key += fmt.Sprintf("q%d=%d ", m.Qubit, m.Value)
+		}
+		if key == "" {
+			key = "(no measurements)"
+		}
+		counts[key]++
+
+		if *showState && shot == 0 {
+			if pf != nil {
+				check(pf.Flush())
+			}
+			qs, err := stack.GetQuantumState()
+			check(err)
+			fmt.Println("final quantum state:")
+			fmt.Print(qs.Describe())
+		}
+	}
+
+	fmt.Printf("\nmeasurement histogram over %d shot(s):\n", *shots)
+	for k, n := range counts {
+		fmt.Printf("  %4d  %s\n", n, k)
+	}
+}
+
+// runBench executes one of the thesis' ready-to-use test benches against
+// the configured stack.
+func runBench(kind, coreKind string, usePF bool, shots int, seed int64) {
+	factory := func(it int) (qpdo.Core, error) {
+		rng := rand.New(rand.NewSource(seed + int64(it)))
+		var stack qpdo.Core
+		switch coreKind {
+		case "qx":
+			stack = layers.NewQxCore(rng)
+		case "chp":
+			stack = layers.NewChpCore(rng)
+		default:
+			return nil, fmt.Errorf("unknown core %q", coreKind)
+		}
+		if usePF {
+			stack = layers.NewPauliFrameLayer(stack)
+		}
+		return stack, nil
+	}
+	var bench testbench.Bench
+	switch kind {
+	case "bell":
+		bench = testbench.NewBellStateHisto()
+	case "gates":
+		bench = testbench.NewGateSupport()
+		shots = 1
+	default:
+		check(fmt.Errorf("unknown test bench %q", kind))
+	}
+	check(testbench.Run(bench, factory, shots))
+	fmt.Print(bench.Report())
+	if !bench.Passed() {
+		os.Exit(1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpdo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Pauli Frames for
+// Quantum Computer Architectures" (Riesebos et al., DAC 2017; MSc thesis
+// CE-MS-2016, TU Delft): the Pauli Frame Unit, the QPDO layered
+// simulation platform with state-vector and stabilizer back-ends, the
+// Surface Code 17 logical qubit with rule-based LUT decoding, and the
+// full logical-error-rate evaluation. See README.md for the tour,
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The root package holds the benchmark
+// harness (bench_test.go) that regenerates every evaluation table and
+// figure at benchmark scale.
+package repro

@@ -1,0 +1,63 @@
+// Distance5 runs a distance-5 rotated surface code — the thesis' future-
+// work direction — under depolarizing noise: renders the lattice, keeps
+// |1⟩_L alive through QEC windows with the matching decoder, and shows
+// the syndrome picture when errors strike.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surfaced"
+)
+
+func main() {
+	chp := layers.NewChpCore(rand.New(rand.NewSource(5)))
+	errl := layers.NewErrorLayer(chp, 5e-4, rand.New(rand.NewSource(6)))
+	plane, err := surfaced.NewPlane(errl, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plane.Layout.Render(nil))
+
+	// Noiseless |1⟩_L preparation.
+	if err := qpdo.WithBypass(errl, plane.InitOne); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprepared |1⟩_L; running 30 noisy QEC windows (4 ESM rounds each)...")
+
+	corrections := 0
+	for w := 0; w < 30; w++ {
+		st, err := plane.RunWindow()
+		if err != nil {
+			log.Fatal(err)
+		}
+		corrections += st.CorrectionGates
+	}
+	fmt.Printf("corrections applied: %d\n", corrections)
+
+	// Show one noisy syndrome round, then the clean picture in bypass.
+	round, err := plane.RunESMRound()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncurrent syndrome picture ('!' marks flagged checks):")
+	fmt.Print(plane.Layout.Render(&round))
+
+	var out int
+	if err := qpdo.WithBypass(errl, func() error {
+		var err error
+		out, err = plane.MeasureLogical()
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlogical readout after 120 noisy ESM rounds: %d (want 1)\n", out)
+	if out != 1 {
+		log.Fatal("logical state lost")
+	}
+	fmt.Println("the distance-5 code preserved the state")
+}

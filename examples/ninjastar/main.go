@@ -1,0 +1,74 @@
+// Ninjastar keeps a Surface Code 17 logical qubit alive under
+// depolarizing noise: initialize |0>_L, run QEC windows while errors
+// rain down, and measure at the end — the logical value survives error
+// rates that would scramble a bare qubit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+func main() {
+	const (
+		per     = 1e-3
+		windows = 25
+		shots   = 20
+	)
+	survived := 0
+	totalCorrections := 0
+	for shot := 0; shot < shots; shot++ {
+		chp := layers.NewChpCore(rand.New(rand.NewSource(int64(100 + shot))))
+		errl := layers.NewErrorLayer(chp, per, rand.New(rand.NewSource(int64(200+shot))))
+		star := surface.NewNinjaStarLayer(errl, surface.Config{Ancilla: surface.AncillaDedicated})
+		if err := star.CreateQubits(1); err != nil {
+			log.Fatal(err)
+		}
+
+		// Prepare |1>_L noiselessly so a survival check is non-trivial.
+		if err := qpdo.WithBypass(star, func() error {
+			_, err := qpdo.Run(star, circuit.New().Add(gates.Prep, 0).Add(gates.X, 0))
+			return err
+		}); err != nil {
+			log.Fatal(err)
+		}
+
+		// QEC windows under noise.
+		for w := 0; w < windows; w++ {
+			stats, err := star.RunWindow(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalCorrections += stats.CorrectionGates
+		}
+
+		// Noiseless readout.
+		var out int
+		if err := qpdo.WithBypass(star, func() error {
+			res, err := qpdo.Run(star, circuit.New().Add(gates.Measure, 0))
+			if err != nil {
+				return err
+			}
+			out = res.Last(0)
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if out == 1 {
+			survived++
+		}
+	}
+	fmt.Printf("physical error rate:        %g per operation\n", per)
+	fmt.Printf("windows per shot:           %d (%d ESM rounds, ~%d noisy operations)\n",
+		windows, windows*2, windows*2*48)
+	fmt.Printf("corrections applied:        %d across %d shots\n", totalCorrections, shots)
+	fmt.Printf("logical |1>_L survived:     %d/%d shots\n", survived, shots)
+	fmt.Println("a bare qubit idling through the same schedule would decohere almost surely")
+}

@@ -1,0 +1,16 @@
+# A Clifford+T circuit: the Pauli frame flushes its records before each
+# T gate (thesis Table 3.1, non-Clifford flow).
+# Run: go run ./cmd/qpdo -core qx -pf -state examples/qasm/cliffordt.qasm
+qubits 3
+prep_z q0
+prep_z q1
+prep_z q2
+h q0
+x q1
+cnot q0,q1
+t q1
+z q2
+s q2
+cnot q1,q2
+tdag q2
+h q2

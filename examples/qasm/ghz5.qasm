@@ -1,0 +1,14 @@
+# Five-qubit GHZ state; all measurements agree.
+# Run: go run ./cmd/qpdo -core chp -shots 10 examples/qasm/ghz5.qasm
+qubits 5
+prep_z q0
+prep_z q1
+prep_z q2
+prep_z q3
+prep_z q4
+h q0
+cnot q0,q1
+cnot q1,q2
+cnot q2,q3
+cnot q3,q4
+{ measure q0 | measure q1 | measure q2 | measure q3 | measure q4 }

@@ -1,0 +1,9 @@
+# Odd Bell state (thesis Fig 5.6): (|01> + |10>)/sqrt(2).
+# Run: go run ./cmd/qpdo -core qx -pf -shots 20 examples/qasm/oddbell.qasm
+qubits 2
+prep_z q0
+prep_z q1
+h q0
+cnot q0,q1
+x q0
+{ measure q0 | measure q1 }

@@ -1,0 +1,94 @@
+// Teleport moves an arbitrary qubit state across a Bell pair. The
+// protocol's conditional corrections are always Pauli gates — exactly
+// what a Pauli frame absorbs — so with a frame in the stack the
+// teleportation completes without a single corrective pulse reaching the
+// hardware (thesis §3.3: correction gates handled in classical logic).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/statevec"
+)
+
+func main() {
+	// The payload: an arbitrary non-stabilizer state R_Z(0.9)·H|0⟩.
+	payload := func(s qpdo.Core, q int) error {
+		c := circuit.New().Add(gates.H, q).Add(gates.RZ(0.9), q)
+		_, err := qpdo.Run(s, c)
+		return err
+	}
+
+	// Reference copy of the payload on a single qubit.
+	refCore := layers.NewQxCore(rand.New(rand.NewSource(1)))
+	if err := refCore.CreateQubits(1); err != nil {
+		log.Fatal(err)
+	}
+	if err := payload(refCore, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Teleportation stack: Pauli frame over a counter over the simulator.
+	qx := layers.NewQxCore(rand.New(rand.NewSource(2)))
+	counter := layers.NewCounterLayer(qx)
+	pf := layers.NewPauliFrameLayer(counter)
+	if err := pf.CreateQubits(3); err != nil {
+		log.Fatal(err)
+	}
+	if err := payload(pf, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bell pair between qubits 1 and 2, then the Bell measurement.
+	bell := circuit.New().
+		Add(gates.H, 1).Add(gates.CNOT, 1, 2).
+		Add(gates.CNOT, 0, 1).Add(gates.H, 0).
+		Add(gates.Measure, 0).Add(gates.Measure, 1)
+	res, err := qpdo.Run(pf, bell)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m0, m1 := res.Last(0), res.Last(1)
+
+	// Conditional Pauli corrections — absorbed by the frame.
+	fix := circuit.New()
+	if m1 == 1 {
+		fix.Add(gates.X, 2)
+	}
+	if m0 == 1 {
+		fix.Add(gates.Z, 2)
+	}
+	if fix.NumSlots() > 0 {
+		if _, err := qpdo.Run(pf, fix); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pulsesBeforeFlush := counter.Stats.ByClass[gates.ClassPauli]
+
+	// Flush only to compare states; a real pipeline would keep tracking.
+	if err := pf.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	got, err := qx.Vector().ExtractSubsystem([]int{2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, phase := statevec.EqualUpToGlobalPhase(got, refCore.Vector(), 1e-9)
+
+	fmt.Printf("Bell measurement: m0=%d m1=%d → corrections: %d Pauli gate(s)\n",
+		m0, m1, fix.NumOps())
+	fmt.Printf("teleported state matches payload: %v (global phase %.3f%+.3fi)\n",
+		ok, real(phase), imag(phase))
+	fmt.Printf("corrective pulses that reached the simulator before the flush: %d\n",
+		pulsesBeforeFlush)
+	fmt.Printf("Pauli gates absorbed by the frame: %d\n", pf.PFU.Stats.PauliAbsorbed)
+	if !ok {
+		log.Fatal("teleportation failed")
+	}
+}

@@ -1,0 +1,114 @@
+package arch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// Assemble parses a textual QISA program into instructions. The format
+// mirrors the instruction categories of thesis §3.5.1, one per line:
+//
+//	map <virtual> <physical>   # Q symbol table update
+//	reset <v>                  # initialization
+//	gate <name> <v> [<v> ...]  # physical gate on virtual operands
+//	measure <v>                # computational-basis measurement
+//	qec                        # one QEC cycle slot
+//	dealloc <v>                # mark a virtual qubit dead
+//
+// '#' starts a comment; blank lines are skipped.
+func Assemble(src string) ([]Instruction, error) {
+	var prog []Instruction
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		lineNo := ln + 1
+		ints := func(toks []string) ([]int, error) {
+			out := make([]int, len(toks))
+			for i, tok := range toks {
+				v, err := strconv.Atoi(tok)
+				if err != nil || v < 0 {
+					return nil, fmt.Errorf("arch: line %d: bad operand %q", lineNo, tok)
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+		switch strings.ToLower(fields[0]) {
+		case "map":
+			ops, err := ints(fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			if len(ops) != 2 {
+				return nil, fmt.Errorf("arch: line %d: map wants 2 operands", lineNo)
+			}
+			prog = append(prog, MapQubit(ops[0], ops[1]))
+		case "reset":
+			ops, err := ints(fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			if len(ops) != 1 {
+				return nil, fmt.Errorf("arch: line %d: reset wants 1 operand", lineNo)
+			}
+			prog = append(prog, Reset(ops[0]))
+		case "measure":
+			ops, err := ints(fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			if len(ops) != 1 {
+				return nil, fmt.Errorf("arch: line %d: measure wants 1 operand", lineNo)
+			}
+			prog = append(prog, Measure(ops[0]))
+		case "qec":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("arch: line %d: qec takes no operands", lineNo)
+			}
+			prog = append(prog, QECSlot())
+		case "lmeasure":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("arch: line %d: lmeasure takes no operands", lineNo)
+			}
+			prog = append(prog, LogicalMeasure())
+		case "dealloc":
+			ops, err := ints(fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			if len(ops) != 1 {
+				return nil, fmt.Errorf("arch: line %d: dealloc wants 1 operand", lineNo)
+			}
+			prog = append(prog, Dealloc(ops[0]))
+		case "gate":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("arch: line %d: gate wants a name and operands", lineNo)
+			}
+			g, ok := gates.Lookup(gates.Name(strings.ToLower(fields[1])))
+			if !ok {
+				return nil, fmt.Errorf("arch: line %d: unknown gate %q", lineNo, fields[1])
+			}
+			ops, err := ints(fields[2:])
+			if err != nil {
+				return nil, err
+			}
+			if len(ops) != g.Arity {
+				return nil, fmt.Errorf("arch: line %d: gate %s wants %d operands, got %d",
+					lineNo, g, g.Arity, len(ops))
+			}
+			prog = append(prog, Gate(g, ops...))
+		default:
+			return nil, fmt.Errorf("arch: line %d: unknown instruction %q", lineNo, fields[0])
+		}
+	}
+	return prog, nil
+}

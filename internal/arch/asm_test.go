@@ -1,0 +1,87 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/surface"
+)
+
+func TestAssemble(t *testing.T) {
+	src := `
+# demo program
+map 9 3
+reset 9
+gate h 9
+gate cnot 9 0
+qec
+measure 9
+dealloc 9
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Opcode{OpMapQubit, OpReset, OpGate, OpGate, OpQECSlot, OpMeasure, OpDealloc}
+	if len(prog) != len(wantOps) {
+		t.Fatalf("program length %d, want %d", len(prog), len(wantOps))
+	}
+	for i, ins := range prog {
+		if ins.Op != wantOps[i] {
+			t.Errorf("instruction %d opcode %v, want %v", i, ins.Op, wantOps[i])
+		}
+	}
+	if prog[0].Virtual != 9 || prog[0].Physical != 3 {
+		t.Errorf("map parsed wrong: %+v", prog[0])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"launch missiles",
+		"gate frobnicate 0",
+		"gate cnot 0",
+		"map 1",
+		"reset -1",
+		"measure 1 2",
+		"qec 3",
+		"dealloc",
+		"gate h x",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssembledProgramRuns(t *testing.T) {
+	chip := layers.NewChpCore(rand.New(rand.NewSource(1)))
+	if err := chip.CreateQubits(surface.NumQubits); err != nil {
+		t.Fatal(err)
+	}
+	qcu, err := NewQCU(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(`
+reset 0
+gate x 0
+qec
+qec
+measure 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := qcu.Execute(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Measurements) != 1 || rep.Measurements[0] != 1 {
+		t.Errorf("measurements = %v, want [1]", rep.Measurements)
+	}
+	if rep.ESMRounds != 2 {
+		t.Errorf("ESM rounds = %d", rep.ESMRounds)
+	}
+}

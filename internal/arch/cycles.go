@@ -1,0 +1,122 @@
+package arch
+
+import (
+	"repro/internal/gates"
+	"repro/internal/timing"
+)
+
+// CycleModel assigns cycle costs to the architecture's operations — the
+// first step toward the thesis' future-work goal of "clock-cycle
+// accurate emulation" of the proposed QCU (Chapter 6). Costs are in
+// control-cycle units; the defaults make one time slot one cycle, with
+// measurements and resets stretched the way superconducting hardware
+// stretches them relative to gates.
+type CycleModel struct {
+	// GateCycles is the cost of one physical gate pulse.
+	GateCycles int
+	// ResetCycles is the cost of an initialization.
+	ResetCycles int
+	// MeasureCycles is the cost of a readout.
+	MeasureCycles int
+	// DecodeCycles is the QED unit's latency after the final syndrome
+	// of a window arrives.
+	DecodeCycles int
+	// PauliFramePipelined selects the Fig 3.3b schedule: decoding
+	// overlaps the next ESM rounds and corrections are classical. The
+	// serial schedule (Fig 3.3a) stalls for the decoder and spends a
+	// slot applying corrections.
+	PauliFramePipelined bool
+}
+
+// DefaultCycleModel mirrors the thesis' slot accounting: every operation
+// is one slot, the decoder takes one ESM round's worth of cycles.
+func DefaultCycleModel(pipelined bool) CycleModel {
+	return CycleModel{
+		GateCycles:          1,
+		ResetCycles:         1,
+		MeasureCycles:       1,
+		DecodeCycles:        8,
+		PauliFramePipelined: pipelined,
+	}
+}
+
+// CycleCounter accumulates the execution time of a program under a
+// cycle model. The QCU drives it; slot-parallelism inside ESM circuits
+// is accounted by the per-slot maximum.
+type CycleCounter struct {
+	Model CycleModel
+	// Total is the accumulated cycle count.
+	Total int
+	// DecodeStalls counts cycles spent waiting for the decoder.
+	DecodeStalls int
+	// CorrectionCycles counts cycles spent applying physical
+	// corrections (zero when the frame absorbs them).
+	CorrectionCycles int
+}
+
+// opCycles prices one physical operation.
+func (c *CycleCounter) opCycles(class gates.Class) int {
+	switch class {
+	case gates.ClassReset:
+		return c.Model.ResetCycles
+	case gates.ClassMeasure:
+		return c.Model.MeasureCycles
+	default:
+		return c.Model.GateCycles
+	}
+}
+
+// AddOp accounts one serially issued operation.
+func (c *CycleCounter) AddOp(class gates.Class) {
+	c.Total += c.opCycles(class)
+}
+
+// AddSlot accounts one parallel slot of operation classes (cost = the
+// slowest member).
+func (c *CycleCounter) AddSlot(classes []gates.Class) {
+	max := 0
+	for _, cl := range classes {
+		if v := c.opCycles(cl); v > max {
+			max = v
+		}
+	}
+	c.Total += max
+}
+
+// AddWindowEpilogue accounts what happens between the last syndrome of a
+// window and the next window: under the serial schedule the controller
+// stalls for the decoder and applies corrections physically; under the
+// pipelined Pauli-frame schedule decoding overlaps the next window and
+// corrections are classical, so the epilogue only costs when the decoder
+// is slower than a whole window (thesis Fig 3.3).
+func (c *CycleCounter) AddWindowEpilogue(corrections int, windowCycles int) {
+	if !c.Model.PauliFramePipelined {
+		c.DecodeStalls += c.Model.DecodeCycles
+		c.Total += c.Model.DecodeCycles
+		if corrections > 0 {
+			c.CorrectionCycles += c.Model.GateCycles
+			c.Total += c.Model.GateCycles
+		}
+		return
+	}
+	if c.Model.DecodeCycles > windowCycles {
+		stall := c.Model.DecodeCycles - windowCycles
+		c.DecodeStalls += stall
+		c.Total += stall
+	}
+}
+
+// TimingParams converts the model into the analytic schedule parameters
+// of package timing for cross-checking.
+func (c CycleModel) TimingParams(tsESM, rounds int) timing.Params {
+	correction := 1
+	if c.PauliFramePipelined {
+		correction = 0
+	}
+	return timing.Params{
+		TsESM:           tsESM,
+		RoundsPerWindow: rounds,
+		DecodeLatency:   c.DecodeCycles,
+		CorrectionSlots: correction,
+	}
+}

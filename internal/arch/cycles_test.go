@@ -1,0 +1,94 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/surface"
+	"repro/internal/timing"
+)
+
+func TestCycleCounterPrimitives(t *testing.T) {
+	c := &CycleCounter{Model: CycleModel{GateCycles: 1, ResetCycles: 2, MeasureCycles: 3}}
+	c.AddOp(gates.ClassClifford)
+	c.AddOp(gates.ClassReset)
+	c.AddOp(gates.ClassMeasure)
+	if c.Total != 6 {
+		t.Errorf("total = %d, want 6", c.Total)
+	}
+	c.Total = 0
+	c.AddSlot([]gates.Class{gates.ClassClifford, gates.ClassMeasure, gates.ClassReset})
+	if c.Total != 3 {
+		t.Errorf("slot cost = %d, want 3 (slowest member)", c.Total)
+	}
+}
+
+func TestWindowEpilogueSchedules(t *testing.T) {
+	// Serial schedule: decoder stall + correction slot.
+	serial := &CycleCounter{Model: DefaultCycleModel(false)}
+	serial.AddWindowEpilogue(2, 16)
+	if serial.Total != 8+1 || serial.DecodeStalls != 8 || serial.CorrectionCycles != 1 {
+		t.Errorf("serial epilogue: %+v", serial)
+	}
+	// Pipelined: free when the decoder fits in a window.
+	pipe := &CycleCounter{Model: DefaultCycleModel(true)}
+	pipe.AddWindowEpilogue(2, 16)
+	if pipe.Total != 0 {
+		t.Errorf("pipelined epilogue should be free: %+v", pipe)
+	}
+	// Pipelined with a slow decoder stalls by the excess only.
+	slow := &CycleCounter{Model: CycleModel{GateCycles: 1, ResetCycles: 1, MeasureCycles: 1,
+		DecodeCycles: 40, PauliFramePipelined: true}}
+	slow.AddWindowEpilogue(0, 16)
+	if slow.Total != 24 || slow.DecodeStalls != 24 {
+		t.Errorf("slow pipelined epilogue: %+v", slow)
+	}
+}
+
+// TestQCUCycleAccounting runs the same QEC workload under both schedules
+// and checks the pipelined (Pauli frame) variant is faster by the
+// decoder stalls plus correction slots — the Fig 3.3 claim measured on
+// the architecture model itself.
+func TestQCUCycleAccounting(t *testing.T) {
+	run := func(pipelined bool) *CycleCounter {
+		chip := layers.NewChpCore(rand.New(rand.NewSource(8)))
+		if err := chip.CreateQubits(surface.NumQubits); err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewQCU(chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.SetCycleModel(DefaultCycleModel(pipelined))
+		var prog []Instruction
+		for d := 0; d < surface.NumData; d++ {
+			prog = append(prog, Reset(d))
+		}
+		for i := 0; i < 10; i++ {
+			prog = append(prog, QECSlot())
+		}
+		if _, err := q.Execute(prog); err != nil {
+			t.Fatal(err)
+		}
+		return q.Cycles()
+	}
+	serial := run(false)
+	pipe := run(true)
+	if pipe.Total >= serial.Total {
+		t.Errorf("pipelined %d cycles not faster than serial %d", pipe.Total, serial.Total)
+	}
+	saved := serial.Total - pipe.Total
+	expect := serial.DecodeStalls + serial.CorrectionCycles - pipe.DecodeStalls
+	if saved != expect {
+		t.Errorf("saved %d cycles, expected %d (stalls %d + corrections %d)",
+			saved, expect, serial.DecodeStalls, serial.CorrectionCycles)
+	}
+	// Cross-check against the analytic schedule model: the per-window
+	// saving matches timing.SavedSlots when every window has corrections.
+	p := DefaultCycleModel(false).TimingParams(8, 2)
+	if timing.SavedSlots(p) != 9 {
+		t.Errorf("analytic cross-check: %d", timing.SavedSlots(p))
+	}
+}

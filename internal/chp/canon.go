@@ -1,0 +1,210 @@
+package chp
+
+import (
+	"math/bits"
+
+	"repro/internal/pauli"
+)
+
+// packedRow is a standalone Pauli row used for canonicalization and
+// stabilizer-group membership queries.
+type packedRow struct {
+	x, z []uint64
+	r    uint8
+}
+
+func (t *Tableau) packString(ps pauli.PauliString) packedRow {
+	row := packedRow{x: make([]uint64, t.words), z: make([]uint64, t.words)}
+	if ps.Negative {
+		row.r = 1
+	}
+	for q, p := range ps.Ops {
+		t.check(q)
+		if p.HasX() {
+			row.x[q/64] |= 1 << uint(q%64)
+		}
+		if p.HasZ() {
+			row.z[q/64] |= 1 << uint(q%64)
+		}
+	}
+	return row
+}
+
+// anticommutesWithRow reports whether the packed row anti-commutes with
+// tableau row i.
+func (t *Tableau) anticommutesWithRow(row packedRow, i int) bool {
+	parity := 0
+	for w := 0; w < t.words; w++ {
+		parity ^= bits.OnesCount64(row.x[w]&t.z[i][w]) & 1
+		parity ^= bits.OnesCount64(row.z[w]&t.x[i][w]) & 1
+	}
+	return parity == 1
+}
+
+// mulRow multiplies packed row h by packed row i in place (h ← h·i) with
+// the same phase bookkeeping as Tableau.rowsum.
+func mulRow(h, i *packedRow) {
+	sum := 2*int(h.r) + 2*int(i.r)
+	for w := range h.x {
+		x1, z1 := h.x[w], h.z[w]
+		x2, z2 := i.x[w], i.z[w]
+		pos := (x1 & z1 & z2 &^ x2) | (x1 &^ z1 & z2 & x2) | (z1 &^ x1 & x2 &^ z2)
+		neg := (x1 & z1 & x2 &^ z2) | (x1 &^ z1 & z2 &^ x2) | (z1 &^ x1 & x2 & z2)
+		sum += bits.OnesCount64(pos) - bits.OnesCount64(neg)
+		h.x[w] = x1 ^ x2
+		h.z[w] = z1 ^ z2
+	}
+	sum %= 4
+	if sum < 0 {
+		sum += 4
+	}
+	switch sum {
+	case 0:
+		h.r = 0
+	case 2:
+		h.r = 1
+	default:
+		panic("chp: imaginary phase in row product")
+	}
+}
+
+func (r packedRow) getX(q int) bool { return r.x[q/64]&(1<<uint(q%64)) != 0 }
+func (r packedRow) getZ(q int) bool { return r.z[q/64]&(1<<uint(q%64)) != 0 }
+
+func (r packedRow) clone() packedRow {
+	return packedRow{
+		x: append([]uint64(nil), r.x...),
+		z: append([]uint64(nil), r.z...),
+		r: r.r,
+	}
+}
+
+func (r packedRow) equal(o packedRow) bool {
+	if r.r != o.r {
+		return false
+	}
+	for w := range r.x {
+		if r.x[w] != o.x[w] || r.z[w] != o.z[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalRows returns the stabilizer generators of the state in the
+// canonical (row-reduced echelon) form used for state comparison:
+// Gaussian elimination with X-component pivots first, then Z-component
+// pivots, phases maintained through mulRow.
+func (t *Tableau) canonicalRows() []packedRow {
+	rows := make([]packedRow, t.n)
+	for i := 0; i < t.n; i++ {
+		rows[i] = packedRow{
+			x: append([]uint64(nil), t.x[t.n+i]...),
+			z: append([]uint64(nil), t.z[t.n+i]...),
+			r: t.r[t.n+i],
+		}
+	}
+	pivot := 0
+	// X block.
+	for q := 0; q < t.n; q++ {
+		found := -1
+		for i := pivot; i < t.n; i++ {
+			if rows[i].getX(q) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			continue
+		}
+		rows[pivot], rows[found] = rows[found], rows[pivot]
+		for i := 0; i < t.n; i++ {
+			if i != pivot && rows[i].getX(q) {
+				mulRow(&rows[i], &rows[pivot])
+			}
+		}
+		pivot++
+	}
+	// Z block on the remaining rows (which now have no X components).
+	for q := 0; q < t.n; q++ {
+		found := -1
+		for i := pivot; i < t.n; i++ {
+			if rows[i].getZ(q) && !anyX(rows[i]) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			continue
+		}
+		rows[pivot], rows[found] = rows[found], rows[pivot]
+		for i := 0; i < t.n; i++ {
+			if i != pivot && !anyX(rows[i]) && rows[i].getZ(q) {
+				mulRow(&rows[i], &rows[pivot])
+			}
+		}
+		pivot++
+	}
+	return rows
+}
+
+func anyX(r packedRow) bool {
+	for _, w := range r.x {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two tableaux describe the same quantum state
+// (identical stabilizer groups including signs). Global phase is not
+// physical for stabilizer states, so this is full state equality.
+func Equal(a, b *Tableau) bool {
+	if a.n != b.n {
+		return false
+	}
+	ra, rb := a.canonicalRows(), b.canonicalRows()
+	for i := range ra {
+		if !ra[i].equal(rb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpectPauli returns the expectation value of a Pauli string on the
+// current state: +1 or −1 when the string is (up to sign) in the
+// stabilizer group (deterministic = true), and deterministic = false when
+// the string anti-commutes with some stabilizer (expectation zero).
+func (t *Tableau) ExpectPauli(ps pauli.PauliString) (value int, deterministic bool) {
+	row := t.packString(ps)
+	for i := t.n; i < 2*t.n; i++ {
+		if t.anticommutesWithRow(row, i) {
+			return 0, false
+		}
+	}
+	// Accumulate the product of stabilizers selected by anti-commuting
+	// destabilizers.
+	acc := packedRow{x: make([]uint64, t.words), z: make([]uint64, t.words)}
+	for i := 0; i < t.n; i++ {
+		if t.anticommutesWithRow(row, i) {
+			stab := packedRow{x: t.x[t.n+i], z: t.z[t.n+i], r: t.r[t.n+i]}
+			mulRow(&acc, &stab)
+		}
+	}
+	// acc must now equal the operator part of ps.
+	for w := 0; w < t.words; w++ {
+		if acc.x[w] != row.x[w] || acc.z[w] != row.z[w] {
+			// ps is not in the stabilizer group even though it commutes
+			// with all generators (possible only for mixed/partial
+			// states, which a tableau never represents) — treat as
+			// indeterminate.
+			return 0, false
+		}
+	}
+	if acc.r == row.r {
+		return 1, true
+	}
+	return -1, true
+}

@@ -1,0 +1,333 @@
+package chp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func newT(n int) *Tableau { return New(n, rand.New(rand.NewSource(11))) }
+
+func TestInitialMeasurement(t *testing.T) {
+	tb := newT(3)
+	for q := 0; q < 3; q++ {
+		out, det := tb.Measure(q)
+		if out != 0 || !det {
+			t.Fatalf("qubit %d of |000>: out=%d det=%v", q, out, det)
+		}
+	}
+}
+
+func TestXThenMeasure(t *testing.T) {
+	tb := newT(2)
+	tb.X(1)
+	if out, det := tb.Measure(1); out != 1 || !det {
+		t.Fatalf("X|0> measurement: out=%d det=%v", out, det)
+	}
+	if out, _ := tb.Measure(0); out != 0 {
+		t.Fatal("untouched qubit flipped")
+	}
+}
+
+func TestHMeasurementIsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ones := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		tb := New(1, rng)
+		tb.H(0)
+		out, det := tb.Measure(0)
+		if det {
+			t.Fatal("H|0> measurement should be non-deterministic")
+		}
+		ones += out
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("H|0> bias: %f", frac)
+	}
+}
+
+func TestMeasurementRepeatable(t *testing.T) {
+	tb := newT(1)
+	tb.H(0)
+	first, _ := tb.Measure(0)
+	for i := 0; i < 5; i++ {
+		out, det := tb.Measure(0)
+		if out != first || !det {
+			t.Fatalf("repeat %d: out=%d det=%v, want %d deterministic", i, out, det, first)
+		}
+	}
+}
+
+func TestBellStateCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		tb := New(2, rng)
+		tb.H(0)
+		tb.CNOT(0, 1)
+		m0, _ := tb.Measure(0)
+		m1, det := tb.Measure(1)
+		if !det {
+			t.Fatal("second Bell measurement should be deterministic")
+		}
+		if m0 != m1 {
+			t.Fatalf("Bell correlation broken: %d vs %d", m0, m1)
+		}
+	}
+}
+
+func TestBellStabilizers(t *testing.T) {
+	tb := newT(2)
+	tb.H(0)
+	tb.CNOT(0, 1)
+	// Bell state is stabilized by +XX and +ZZ.
+	for _, ps := range []pauli.PauliString{pauli.XString(0, 1), pauli.ZString(0, 1)} {
+		v, det := tb.ExpectPauli(ps)
+		if !det || v != 1 {
+			t.Errorf("⟨%v⟩ = %d det=%v, want +1 deterministic", ps, v, det)
+		}
+	}
+	// Single Z anti-commutes with XX: indeterminate.
+	if _, det := tb.ExpectPauli(pauli.ZString(0)); det {
+		t.Error("⟨Z0⟩ on Bell state should be indeterminate")
+	}
+}
+
+func TestPauliGatesFlipSigns(t *testing.T) {
+	tb := newT(1)
+	tb.X(0) // state |1>: stabilizer -Z
+	v, det := tb.ExpectPauli(pauli.ZString(0))
+	if !det || v != -1 {
+		t.Fatalf("⟨Z⟩ after X = %d det=%v", v, det)
+	}
+	tb2 := newT(1)
+	tb2.H(0) // |+>: stabilizer +X
+	v, det = tb2.ExpectPauli(pauli.XString(0))
+	if !det || v != 1 {
+		t.Fatalf("⟨X⟩ on |+> = %d det=%v", v, det)
+	}
+	tb2.Z(0) // |->: stabilizer -X
+	v, _ = tb2.ExpectPauli(pauli.XString(0))
+	if v != -1 {
+		t.Fatalf("⟨X⟩ on |-> = %d", v)
+	}
+	tb3 := newT(1)
+	tb3.H(0)
+	tb3.S(0) // |+i>: stabilizer +Y
+	v, det = tb3.ExpectPauli(pauli.NewPauliString(map[int]pauli.Pauli{0: pauli.Y}))
+	if !det || v != 1 {
+		t.Fatalf("⟨Y⟩ on S|+> = %d det=%v", v, det)
+	}
+	tb3.Sdg(0) // back to |+>
+	v, _ = tb3.ExpectPauli(pauli.XString(0))
+	if v != 1 {
+		t.Fatal("Sdg did not invert S")
+	}
+}
+
+func TestYGate(t *testing.T) {
+	tb := newT(1)
+	tb.Y(0) // Y|0> = i|1>: stabilizer -Z
+	v, det := tb.ExpectPauli(pauli.ZString(0))
+	if !det || v != -1 {
+		t.Fatalf("⟨Z⟩ after Y = %d det=%v", v, det)
+	}
+}
+
+func TestCZAndSWAP(t *testing.T) {
+	// CZ on |+>|1>: Z kicks back onto qubit 0 → |->|1>.
+	tb := newT(2)
+	tb.H(0)
+	tb.X(1)
+	tb.CZ(0, 1)
+	v, _ := tb.ExpectPauli(pauli.XString(0))
+	if v != -1 {
+		t.Fatalf("CZ phase kickback failed: ⟨X0⟩ = %d", v)
+	}
+	// SWAP moves |1> from qubit 0 to qubit 1.
+	tb2 := newT(2)
+	tb2.X(0)
+	tb2.SWAP(0, 1)
+	if out, _ := tb2.Measure(0); out != 0 {
+		t.Fatal("SWAP left qubit 0 as 1")
+	}
+	if out, _ := tb2.Measure(1); out != 1 {
+		t.Fatal("SWAP did not move 1 to qubit 1")
+	}
+}
+
+func TestReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		tb := New(2, rng)
+		tb.H(0)
+		tb.CNOT(0, 1)
+		tb.Reset(0)
+		if out, det := tb.Measure(0); out != 0 || !det {
+			t.Fatalf("reset failed: out=%d det=%v", out, det)
+		}
+	}
+}
+
+func TestEqualCanonicalForm(t *testing.T) {
+	// Two different Clifford circuits preparing the same Bell state.
+	a := newT(2)
+	a.H(0)
+	a.CNOT(0, 1)
+	b := newT(2)
+	b.H(1)
+	b.CNOT(1, 0)
+	if !Equal(a, b) {
+		t.Error("equivalent Bell preparations compare unequal")
+	}
+	c := newT(2)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.Z(0) // |Φ−⟩ differs from |Φ+⟩
+	if Equal(a, c) {
+		t.Error("different Bell states compare equal")
+	}
+	d := newT(3)
+	if Equal(a, d) {
+		t.Error("different qubit counts compare equal")
+	}
+}
+
+func TestEqualAfterRedundantOps(t *testing.T) {
+	a := newT(4)
+	b := newT(4)
+	ops := func(tb *Tableau) {
+		tb.H(0)
+		tb.CNOT(0, 2)
+		tb.S(2)
+		tb.CZ(1, 3)
+	}
+	ops(a)
+	ops(b)
+	// b takes a detour that cancels out.
+	b.X(1)
+	b.X(1)
+	b.H(3)
+	b.H(3)
+	if !Equal(a, b) {
+		t.Error("states with cancelled detours compare unequal")
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	tb := newT(5)
+	tb.H(0)
+	for q := 1; q < 5; q++ {
+		tb.CNOT(0, q)
+	}
+	// GHZ stabilizers: X⊗5 and Z_i Z_{i+1}.
+	v, det := tb.ExpectPauli(pauli.XString(0, 1, 2, 3, 4))
+	if !det || v != 1 {
+		t.Errorf("⟨X⊗5⟩ = %d det=%v", v, det)
+	}
+	for q := 0; q < 4; q++ {
+		v, det := tb.ExpectPauli(pauli.ZString(q, q+1))
+		if !det || v != 1 {
+			t.Errorf("⟨Z%dZ%d⟩ = %d det=%v", q, q+1, v, det)
+		}
+	}
+	// All measurements agree.
+	first, _ := tb.Measure(0)
+	for q := 1; q < 5; q++ {
+		if out, det := tb.Measure(q); out != first || !det {
+			t.Fatalf("GHZ qubit %d: out=%d det=%v want %d", q, out, det, first)
+		}
+	}
+}
+
+func TestStabilizersExtraction(t *testing.T) {
+	tb := newT(2)
+	tb.H(0)
+	tb.CNOT(0, 1)
+	stabs := tb.Stabilizers()
+	if len(stabs) != 2 {
+		t.Fatalf("want 2 stabilizers, got %d", len(stabs))
+	}
+	for _, s := range stabs {
+		if v, det := tb.ExpectPauli(s); !det || v != 1 {
+			t.Errorf("extracted stabilizer %v not satisfied", s)
+		}
+	}
+}
+
+func TestManyQubitsAcrossWords(t *testing.T) {
+	// 70 qubits exercises multi-word rows.
+	rng := rand.New(rand.NewSource(17))
+	tb := New(70, rng)
+	tb.H(0)
+	for q := 1; q < 70; q++ {
+		tb.CNOT(q-1, q)
+	}
+	first, _ := tb.Measure(69)
+	for q := 0; q < 69; q++ {
+		if out, det := tb.Measure(q); out != first || !det {
+			t.Fatalf("70-qubit GHZ qubit %d: out=%d det=%v", q, out, det)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := newT(2)
+	a.H(0)
+	b := a.Clone()
+	b.Z(0) // |+⟩ → |−⟩, distinct state
+	if Equal(a, b) {
+		t.Error("clone mutation affected original (or Equal is broken)")
+	}
+}
+
+func TestCNOTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CNOT with equal operands should panic")
+		}
+	}()
+	newT(2).CNOT(1, 1)
+}
+
+func TestSC17LogicalStateStabilizers(t *testing.T) {
+	// Prepare the SC17 |0⟩_L state directly by measuring the X stabilizers
+	// on |0...0⟩ of 9 data qubits with an ancilla (qubit 9) and applying
+	// sign fixes, then verify thesis Tables 2.1 and 2.2.
+	rng := rand.New(rand.NewSource(23))
+	tb := New(10, rng)
+	xStabs := [][]int{{0, 1, 3, 4}, {1, 2}, {4, 5, 7, 8}, {6, 7}}
+	// Z sign fixes: each single-qubit Z anti-commutes with its target X
+	// stabilizer (odd overlap) and commutes with the other three.
+	fix := [][]int{{0}, {2}, {8}, {6}}
+	for i, sup := range xStabs {
+		tb.Reset(9)
+		tb.H(9)
+		for _, d := range sup {
+			tb.CNOT(9, d)
+		}
+		tb.H(9)
+		if out, _ := tb.Measure(9); out == 1 {
+			for _, d := range fix[i] {
+				tb.Z(d)
+			}
+		}
+	}
+	// Table 2.1 stabilizers plus Table 2.2's Z0Z4Z8 for |0⟩_L.
+	checks := []pauli.PauliString{
+		pauli.XString(0, 1, 3, 4), pauli.XString(1, 2),
+		pauli.XString(4, 5, 7, 8), pauli.XString(6, 7),
+		pauli.ZString(0, 3), pauli.ZString(1, 2, 4, 5),
+		pauli.ZString(3, 4, 6, 7), pauli.ZString(5, 8),
+		pauli.ZString(0, 4, 8),
+	}
+	for _, ps := range checks {
+		v, det := tb.ExpectPauli(ps)
+		if !det || v != 1 {
+			t.Errorf("|0⟩_L should satisfy %v: v=%d det=%v", ps, v, det)
+		}
+	}
+}

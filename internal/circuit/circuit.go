@@ -1,0 +1,195 @@
+// Package circuit implements the shared quantum-circuit data structure of
+// the QPDO platform (thesis Fig 4.4): a circuit is an ordered list of time
+// slots, each holding operations that execute in parallel. Within one time
+// slot every qubit may be involved in at most one operation, and all
+// operations in a slot are assumed to take the same amount of time — the
+// scheduling assumption behind the error model's idle-error insertion and
+// the time-slot accounting of the Pauli-frame savings experiments.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// Operation applies one gate (or pseudo-operation) to an ordered list of
+// qubits. For controlled gates the control(s) come first.
+type Operation struct {
+	Gate   *gates.Gate
+	Qubits []int
+}
+
+// NewOp builds an operation, validating arity.
+func NewOp(g *gates.Gate, qubits ...int) Operation {
+	if g.Arity != len(qubits) {
+		panic(fmt.Sprintf("circuit: gate %s wants %d qubits, got %d", g, g.Arity, len(qubits)))
+	}
+	return Operation{Gate: g, Qubits: append([]int(nil), qubits...)}
+}
+
+// String renders like "cnot q0,q1".
+func (o Operation) String() string {
+	parts := make([]string, len(o.Qubits))
+	for i, q := range o.Qubits {
+		parts[i] = fmt.Sprintf("q%d", q)
+	}
+	return fmt.Sprintf("%s %s", o.Gate.Name, strings.Join(parts, ","))
+}
+
+// TimeSlot is a set of operations executing in parallel.
+type TimeSlot struct {
+	Ops []Operation
+}
+
+// Qubits returns the set of qubits touched by the slot.
+func (t *TimeSlot) Qubits() map[int]bool {
+	m := map[int]bool{}
+	for _, op := range t.Ops {
+		for _, q := range op.Qubits {
+			m[q] = true
+		}
+	}
+	return m
+}
+
+// Circuit is an ordered list of time slots.
+type Circuit struct {
+	Slots []TimeSlot
+}
+
+// New returns an empty circuit.
+func New() *Circuit { return &Circuit{} }
+
+// AppendSlot adds an empty time slot and returns its index.
+func (c *Circuit) AppendSlot() int {
+	c.Slots = append(c.Slots, TimeSlot{})
+	return len(c.Slots) - 1
+}
+
+// AddToSlot places an operation into an existing slot.
+func (c *Circuit) AddToSlot(slot int, g *gates.Gate, qubits ...int) *Circuit {
+	c.Slots[slot].Ops = append(c.Slots[slot].Ops, NewOp(g, qubits...))
+	return c
+}
+
+// Add appends a new time slot holding a single operation.
+func (c *Circuit) Add(g *gates.Gate, qubits ...int) *Circuit {
+	s := c.AppendSlot()
+	return c.AddToSlot(s, g, qubits...)
+}
+
+// AddParallel appends one time slot holding all the given operations.
+func (c *Circuit) AddParallel(ops ...Operation) *Circuit {
+	c.Slots = append(c.Slots, TimeSlot{Ops: ops})
+	return c
+}
+
+// Append concatenates another circuit's slots after this one's.
+func (c *Circuit) Append(other *Circuit) *Circuit {
+	c.Slots = append(c.Slots, other.Slots...)
+	return c
+}
+
+// NumSlots counts time slots.
+func (c *Circuit) NumSlots() int { return len(c.Slots) }
+
+// NumOps counts operations of all kinds.
+func (c *Circuit) NumOps() int {
+	n := 0
+	for _, s := range c.Slots {
+		n += len(s.Ops)
+	}
+	return n
+}
+
+// CountClass counts operations of the given class.
+func (c *Circuit) CountClass(cl gates.Class) int {
+	n := 0
+	for _, s := range c.Slots {
+		for _, op := range s.Ops {
+			if op.Gate.Class == cl {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Qubits returns the set of qubits the circuit touches.
+func (c *Circuit) Qubits() map[int]bool {
+	m := map[int]bool{}
+	for _, s := range c.Slots {
+		for q := range (&s).Qubits() {
+			m[q] = true
+		}
+	}
+	return m
+}
+
+// MaxQubit returns the highest qubit index referenced, or -1 when empty.
+func (c *Circuit) MaxQubit() int {
+	max := -1
+	for _, s := range c.Slots {
+		for _, op := range s.Ops {
+			for _, q := range op.Qubits {
+				if q > max {
+					max = q
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks the time-slot discipline: within each slot no qubit may
+// appear in more than one operation, and no operation may repeat a qubit.
+func (c *Circuit) Validate() error {
+	for si, s := range c.Slots {
+		seen := map[int]int{}
+		for oi, op := range s.Ops {
+			local := map[int]bool{}
+			for _, q := range op.Qubits {
+				if q < 0 {
+					return fmt.Errorf("slot %d op %d: negative qubit %d", si, oi, q)
+				}
+				if local[q] {
+					return fmt.Errorf("slot %d op %d: qubit %d repeated within operation", si, oi, q)
+				}
+				local[q] = true
+				if prev, ok := seen[q]; ok {
+					return fmt.Errorf("slot %d: qubit %d used by ops %d and %d", si, q, prev, oi)
+				}
+				seen[q] = oi
+			}
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Slots: make([]TimeSlot, len(c.Slots))}
+	for i, s := range c.Slots {
+		ops := make([]Operation, len(s.Ops))
+		for j, op := range s.Ops {
+			ops[j] = Operation{Gate: op.Gate, Qubits: append([]int(nil), op.Qubits...)}
+		}
+		out.Slots[i].Ops = ops
+	}
+	return out
+}
+
+// String renders the circuit one slot per line.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	for i, s := range c.Slots {
+		fmt.Fprintf(&b, "slot %d:", i)
+		for _, op := range s.Ops {
+			fmt.Fprintf(&b, " [%s]", op)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+func TestBuilders(t *testing.T) {
+	c := New()
+	c.Add(gates.H, 0)
+	c.Add(gates.CNOT, 0, 1)
+	s := c.AppendSlot()
+	c.AddToSlot(s, gates.Measure, 0)
+	c.AddToSlot(s, gates.Measure, 1)
+	if c.NumSlots() != 3 {
+		t.Fatalf("NumSlots = %d, want 3", c.NumSlots())
+	}
+	if c.NumOps() != 4 {
+		t.Fatalf("NumOps = %d, want 4", c.NumOps())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.MaxQubit() != 1 {
+		t.Errorf("MaxQubit = %d, want 1", c.MaxQubit())
+	}
+	qs := c.Qubits()
+	if !qs[0] || !qs[1] || len(qs) != 2 {
+		t.Errorf("Qubits = %v", qs)
+	}
+}
+
+func TestValidateConflicts(t *testing.T) {
+	c := New()
+	s := c.AppendSlot()
+	c.AddToSlot(s, gates.H, 0)
+	c.AddToSlot(s, gates.X, 0)
+	if err := c.Validate(); err == nil {
+		t.Error("expected conflict error for qubit reuse in one slot")
+	}
+
+	c2 := New()
+	c2.AddParallel(Operation{Gate: gates.CNOT, Qubits: []int{2, 2}})
+	if err := c2.Validate(); err == nil {
+		t.Error("expected error for repeated qubit within an operation")
+	}
+
+	c3 := New()
+	c3.AddParallel(Operation{Gate: gates.X, Qubits: []int{-1}})
+	if err := c3.Validate(); err == nil {
+		t.Error("expected error for negative qubit")
+	}
+}
+
+func TestNewOpArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewOp should panic on arity mismatch")
+		}
+	}()
+	NewOp(gates.CNOT, 0)
+}
+
+func TestCountClass(t *testing.T) {
+	c := New()
+	c.Add(gates.X, 0).Add(gates.Z, 1).Add(gates.H, 0).Add(gates.T, 1)
+	c.Add(gates.Prep, 2).Add(gates.Measure, 2)
+	if got := c.CountClass(gates.ClassPauli); got != 2 {
+		t.Errorf("pauli count = %d, want 2", got)
+	}
+	if got := c.CountClass(gates.ClassClifford); got != 1 {
+		t.Errorf("clifford count = %d, want 1", got)
+	}
+	if got := c.CountClass(gates.ClassNonClifford); got != 1 {
+		t.Errorf("non-clifford count = %d, want 1", got)
+	}
+	if got := c.CountClass(gates.ClassReset); got != 1 {
+		t.Errorf("reset count = %d, want 1", got)
+	}
+	if got := c.CountClass(gates.ClassMeasure); got != 1 {
+		t.Errorf("measure count = %d, want 1", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New().Add(gates.CNOT, 0, 1)
+	cp := c.Clone()
+	cp.Slots[0].Ops[0].Qubits[0] = 9
+	if c.Slots[0].Ops[0].Qubits[0] != 0 {
+		t.Error("Clone shares qubit slices with the original")
+	}
+	cp.Add(gates.H, 2)
+	if c.NumSlots() != 1 {
+		t.Error("Clone shares slot storage with the original")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := New().Add(gates.H, 0)
+	b := New().Add(gates.X, 1).Add(gates.Measure, 1)
+	a.Append(b)
+	if a.NumSlots() != 3 || a.NumOps() != 3 {
+		t.Errorf("Append: slots=%d ops=%d", a.NumSlots(), a.NumOps())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := New().Add(gates.CNOT, 0, 1)
+	s := c.String()
+	if !strings.Contains(s, "cnot q0,q1") {
+		t.Errorf("String() = %q", s)
+	}
+	op := NewOp(gates.H, 3)
+	if op.String() != "h q3" {
+		t.Errorf("op.String() = %q", op.String())
+	}
+}
+
+func TestEmptyCircuit(t *testing.T) {
+	c := New()
+	if c.MaxQubit() != -1 {
+		t.Errorf("MaxQubit of empty = %d, want -1", c.MaxQubit())
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("empty circuit should validate: %v", err)
+	}
+}

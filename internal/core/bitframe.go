@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gates"
+	"repro/internal/pauli"
+)
+
+// BitFrame is the hardware-shaped implementation of the Pauli frame: the
+// X and Z components of all records are stored as bit planes (one bit
+// per qubit packed into 64-bit words), and every mapping rule of thesis
+// Tables 3.2–3.5 becomes one or two word-wide boolean operations —
+// exactly the registers-plus-gates structure the thesis argues "can soon
+// be mapped to a hardware implementation" (abstract; §3.5.2: 2n bits of
+// memory plus mapping logic). The reference implementation is Frame;
+// the two are kept in lock-step by property tests.
+type BitFrame struct {
+	n    int
+	x, z []uint64
+}
+
+// NewBitFrame creates an all-identity frame for n qubits.
+func NewBitFrame(n int) *BitFrame {
+	w := (n + 63) / 64
+	return &BitFrame{n: n, x: make([]uint64, w), z: make([]uint64, w)}
+}
+
+// Size returns the number of records.
+func (f *BitFrame) Size() int { return f.n }
+
+func (f *BitFrame) check(q int) {
+	if q < 0 || q >= f.n {
+		panic(fmt.Sprintf("core: qubit %d outside bit frame of %d records", q, f.n))
+	}
+}
+
+func (f *BitFrame) get(plane []uint64, q int) bool {
+	return plane[q/64]&(1<<uint(q%64)) != 0
+}
+
+func (f *BitFrame) flip(plane []uint64, q int) {
+	plane[q/64] ^= 1 << uint(q%64)
+}
+
+func (f *BitFrame) clear(q int) {
+	f.x[q/64] &^= 1 << uint(q%64)
+	f.z[q/64] &^= 1 << uint(q%64)
+}
+
+// Record reads the record of qubit q in the reference representation.
+func (f *BitFrame) Record(q int) pauli.Record {
+	f.check(q)
+	return pauli.Record{X: f.get(f.x, q), Z: f.get(f.z, q)}
+}
+
+// Reset clears the record of qubit q (initialization).
+func (f *BitFrame) Reset(q int) {
+	f.check(q)
+	f.clear(q)
+}
+
+// FlipsMeasurement implements thesis Table 3.2: the X plane bit.
+func (f *BitFrame) FlipsMeasurement(q int) bool {
+	f.check(q)
+	return f.get(f.x, q)
+}
+
+// TrackPauli absorbs a Pauli gate: X toggles the X plane, Z the Z plane,
+// Y both (Table 3.3 as two XOR gates).
+func (f *BitFrame) TrackPauli(name gates.Name, q int) error {
+	f.check(q)
+	switch name {
+	case gates.GateI:
+	case gates.GateX:
+		f.flip(f.x, q)
+	case gates.GateY:
+		f.flip(f.x, q)
+		f.flip(f.z, q)
+	case gates.GateZ:
+		f.flip(f.z, q)
+	default:
+		return fmt.Errorf("core: %s is not a Pauli gate", name)
+	}
+	return nil
+}
+
+// MapClifford applies the Table 3.4/3.5 rules as plane operations:
+//
+//	H:    swap the X and Z bits
+//	S/S†: Z ^= X
+//	CNOT: X_t ^= X_c; Z_c ^= Z_t
+//	CZ:   Z_t ^= X_c; Z_c ^= X_t
+//	SWAP: exchange both planes' bits
+func (f *BitFrame) MapClifford(name gates.Name, qubits []int) error {
+	for _, q := range qubits {
+		f.check(q)
+	}
+	switch name {
+	case gates.GateH:
+		q := qubits[0]
+		xb, zb := f.get(f.x, q), f.get(f.z, q)
+		if xb != zb {
+			f.flip(f.x, q)
+			f.flip(f.z, q)
+		}
+	case gates.GateS, gates.GateSdg:
+		q := qubits[0]
+		if f.get(f.x, q) {
+			f.flip(f.z, q)
+		}
+	case gates.GateCNOT:
+		c, t := qubits[0], qubits[1]
+		if f.get(f.x, c) {
+			f.flip(f.x, t)
+		}
+		if f.get(f.z, t) {
+			f.flip(f.z, c)
+		}
+	case gates.GateCZ:
+		a, b := qubits[0], qubits[1]
+		if f.get(f.x, a) {
+			f.flip(f.z, b)
+		}
+		if f.get(f.x, b) {
+			f.flip(f.z, a)
+		}
+	case gates.GateSWAP:
+		a, b := qubits[0], qubits[1]
+		xa, za := f.get(f.x, a), f.get(f.z, a)
+		xb, zb := f.get(f.x, b), f.get(f.z, b)
+		if xa != xb {
+			f.flip(f.x, a)
+			f.flip(f.x, b)
+		}
+		if za != zb {
+			f.flip(f.z, a)
+			f.flip(f.z, b)
+		}
+	default:
+		return fmt.Errorf("core: no Clifford mapping table for %s", name)
+	}
+	return nil
+}
+
+// TrackPauliMask absorbs Pauli gates on many qubits at once — the
+// word-parallel path a hardware PFU would use for chain operators and
+// whole-plane corrections: one XOR per 64 qubits.
+func (f *BitFrame) TrackPauliMask(xMask, zMask []uint64) {
+	for w := range f.x {
+		if w < len(xMask) {
+			f.x[w] ^= xMask[w]
+		}
+		if w < len(zMask) {
+			f.z[w] ^= zMask[w]
+		}
+	}
+}
+
+// TransversalH maps every record through H simultaneously: the planes
+// swap wholesale — a single wire crossing in hardware.
+func (f *BitFrame) TransversalH() {
+	f.x, f.z = f.z, f.x
+}
+
+// Snapshot copies the planes for test comparison.
+func (f *BitFrame) Snapshot() (x, z []uint64) {
+	return append([]uint64(nil), f.x...), append([]uint64(nil), f.z...)
+}

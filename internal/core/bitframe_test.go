@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gates"
+	"repro/internal/pauli"
+)
+
+// TestBitFrameMatchesReference drives the reference Frame and the
+// hardware-shaped BitFrame with identical random operation streams and
+// requires bit-identical records throughout.
+func TestBitFrameMatchesReference(t *testing.T) {
+	const n = 70 // spans two words
+	type opKind int
+	const (
+		kPauli opKind = iota
+		kSingleClifford
+		kTwoClifford
+		kReset
+	)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := NewFrame(n)
+		bit := NewBitFrame(n)
+		paulis := []gates.Name{gates.GateI, gates.GateX, gates.GateY, gates.GateZ}
+		singles := []gates.Name{gates.GateH, gates.GateS, gates.GateSdg}
+		twos := []gates.Name{gates.GateCNOT, gates.GateCZ, gates.GateSWAP}
+		for i := 0; i < 300; i++ {
+			q := rng.Intn(n)
+			switch opKind(rng.Intn(4)) {
+			case kPauli:
+				g := paulis[rng.Intn(len(paulis))]
+				if err := ref.TrackPauli(g, q); err != nil {
+					return false
+				}
+				if err := bit.TrackPauli(g, q); err != nil {
+					return false
+				}
+			case kSingleClifford:
+				g := singles[rng.Intn(len(singles))]
+				if err := ref.MapClifford(g, []int{q}); err != nil {
+					return false
+				}
+				if err := bit.MapClifford(g, []int{q}); err != nil {
+					return false
+				}
+			case kTwoClifford:
+				g := twos[rng.Intn(len(twos))]
+				q2 := (q + 1 + rng.Intn(n-1)) % n
+				if err := ref.MapClifford(g, []int{q, q2}); err != nil {
+					return false
+				}
+				if err := bit.MapClifford(g, []int{q, q2}); err != nil {
+					return false
+				}
+			case kReset:
+				ref.Reset(q)
+				bit.Reset(q)
+			}
+		}
+		for q := 0; q < n; q++ {
+			if ref.Record(q) != bit.Record(q) {
+				t.Logf("seed %d: record %d diverged: %v vs %v", seed, q, ref.Record(q), bit.Record(q))
+				return false
+			}
+			if ref.FlipsMeasurement(q) != bit.FlipsMeasurement(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitFrameTransversalH(t *testing.T) {
+	bit := NewBitFrame(9)
+	ref := NewFrame(9)
+	for q := 0; q < 9; q += 2 {
+		_ = bit.TrackPauli(gates.GateX, q)
+		_ = ref.TrackPauli(gates.GateX, q)
+	}
+	_ = bit.TrackPauli(gates.GateZ, 1)
+	_ = ref.TrackPauli(gates.GateZ, 1)
+	bit.TransversalH()
+	for q := 0; q < 9; q++ {
+		_ = ref.MapClifford(gates.GateH, []int{q})
+	}
+	for q := 0; q < 9; q++ {
+		if bit.Record(q) != ref.Record(q) {
+			t.Errorf("qubit %d: %v vs %v", q, bit.Record(q), ref.Record(q))
+		}
+	}
+}
+
+func TestBitFrameMaskTracking(t *testing.T) {
+	bit := NewBitFrame(9)
+	// X chain on qubits 2,4,6 and Z chain on 0,4,8 in one word operation.
+	xMask := []uint64{1<<2 | 1<<4 | 1<<6}
+	zMask := []uint64{1<<0 | 1<<4 | 1<<8}
+	bit.TrackPauliMask(xMask, zMask)
+	want := map[int]pauli.Record{
+		0: pauli.RecZ, 2: pauli.RecX, 4: pauli.RecXZ, 6: pauli.RecX, 8: pauli.RecZ,
+	}
+	for q := 0; q < 9; q++ {
+		w := want[q]
+		if got := bit.Record(q); got != w {
+			t.Errorf("qubit %d: %v, want %v", q, got, w)
+		}
+	}
+	// Applying the same masks again cancels everything.
+	bit.TrackPauliMask(xMask, zMask)
+	for q := 0; q < 9; q++ {
+		if !bit.Record(q).IsIdentity() {
+			t.Errorf("qubit %d not cancelled", q)
+		}
+	}
+}
+
+func TestBitFrameErrors(t *testing.T) {
+	bit := NewBitFrame(2)
+	if err := bit.TrackPauli(gates.GateH, 0); err == nil {
+		t.Error("H is not a Pauli")
+	}
+	if err := bit.MapClifford(gates.GateT, []int{0}); err == nil {
+		t.Error("T has no mapping table")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access should panic")
+		}
+	}()
+	bit.Record(5)
+}

@@ -1,0 +1,208 @@
+// Package decoder implements the rule-based look-up-table decoder used
+// for the Surface Code 17 experiments (thesis §5.1.3, §5.3.1, following
+// Tomita & Svore [19] and the implementation of [37]).
+//
+// The decoder is split in two:
+//
+//   - LUT maps a 4-bit syndrome (one bit per stabilizer of one type) to
+//     the minimum-weight set of data-qubit corrections, built by searching
+//     errors of weight 0, 1 and 2 over the stabilizer supports.
+//   - WindowDecoder applies the three-round rule of the windowed scheme
+//     (thesis Fig 5.9): each window contributes two fresh rounds of error
+//     syndromes plus the last round of the previous window, and a
+//     syndrome bit counts as a data error when it is set in the majority
+//     of the three rounds. Transient single-round flips are discarded as
+//     measurement errors; flips in the newest round only are deferred to
+//     the next window.
+//
+// Syndromes here are relative to the as-if-corrected baseline: a set bit
+// means the stabilizer measured −1. Because corrections are either
+// physically applied (no Pauli frame) or absorbed into the frame — which
+// then flips the reported ancilla results — the baseline is always the
+// all-+1 pattern and no extra state is needed.
+package decoder
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NumChecks is the number of stabilizers of one type in SC17.
+const NumChecks = 4
+
+// Syndrome is one round of measurement results for the four stabilizers
+// of one type; bit i set means stabilizer i measured −1.
+type Syndrome uint8
+
+// Bit reports bit i.
+func (s Syndrome) Bit(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// SetBit returns the syndrome with bit i set.
+func (s Syndrome) SetBit(i int) Syndrome { return s | 1<<uint(i) }
+
+// Weight counts set bits.
+func (s Syndrome) Weight() int { return bits.OnesCount8(uint8(s)) }
+
+// String renders bit 3 down to bit 0.
+func (s Syndrome) String() string { return fmt.Sprintf("%04b", uint8(s)) }
+
+// LUT maps syndromes to minimal-weight corrections for one error type.
+type LUT struct {
+	// corrections[s] lists the data-qubit indices to correct for
+	// syndrome s.
+	corrections [1 << NumChecks][]int
+	// supports[i] is the data-qubit support of stabilizer i.
+	supports [NumChecks][]int
+	nData    int
+}
+
+// SyndromeOf computes the syndrome that a set of data-qubit errors of the
+// decoded type produces on the supports.
+func (l *LUT) SyndromeOf(errs []int) Syndrome {
+	var s Syndrome
+	for i, sup := range l.supports {
+		parity := false
+		for _, q := range sup {
+			for _, e := range errs {
+				if e == q {
+					parity = !parity
+				}
+			}
+		}
+		if parity {
+			s = s.SetBit(i)
+		}
+	}
+	return s
+}
+
+// BuildLUT constructs the table for one error type. supports[i] lists the
+// data qubits of stabilizer i (the stabilizers of the *opposite* Pauli
+// type detect the errors being decoded: Z stabilizers detect X errors and
+// vice versa). nData is the number of data qubits. Every one of the 16
+// syndromes must be reachable by an error of weight ≤ 3, which holds for
+// all SC17 orientations; BuildLUT panics otherwise.
+func BuildLUT(supports [NumChecks][]int, nData int) *LUT {
+	allowed := make([]int, nData)
+	for i := range allowed {
+		allowed[i] = i
+	}
+	return BuildLUTRestricted(supports, nData, allowed)
+}
+
+// BuildLUTRestricted builds a table whose corrections may only touch the
+// allowed data qubits. The state-injection procedure uses this to fix
+// stabilizer signs without acting on the qubits that carry the payload
+// (corrections on |0⟩ qubits act trivially on the injected state).
+func BuildLUTRestricted(supports [NumChecks][]int, nData int, allowed []int) *LUT {
+	l := &LUT{supports: supports, nData: nData}
+	filled := make([]bool, 1<<NumChecks)
+	assign := func(s Syndrome, errs []int) {
+		if !filled[s] {
+			filled[s] = true
+			l.corrections[s] = append([]int(nil), errs...)
+		}
+	}
+	assign(0, nil)
+	k := len(allowed)
+	for i := 0; i < k; i++ {
+		assign(l.SyndromeOf([]int{allowed[i]}), []int{allowed[i]})
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			assign(l.SyndromeOf([]int{allowed[i], allowed[j]}), []int{allowed[i], allowed[j]})
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			for m := j + 1; m < k; m++ {
+				e := []int{allowed[i], allowed[j], allowed[m]}
+				assign(l.SyndromeOf(e), e)
+			}
+		}
+	}
+	for s, ok := range filled {
+		if !ok {
+			panic(fmt.Sprintf("decoder: syndrome %04b unreachable by weight ≤ 3 errors on the allowed qubits", s))
+		}
+	}
+	return l
+}
+
+// Decode returns the minimal-weight correction for a syndrome.
+func (l *LUT) Decode(s Syndrome) []int {
+	return append([]int(nil), l.corrections[s]...)
+}
+
+// Rule selects the windowed decoding rule.
+type Rule int
+
+// Decoding rules.
+const (
+	// RuleAgreement decodes only when two consecutive rounds agree
+	// (the default; fault-tolerant to any single fault).
+	RuleAgreement Rule = iota
+	// RuleIntersection decodes the per-bit majority of {carry, r1, r2}.
+	// It looks reasonable but is NOT fault-tolerant: a fault striking
+	// between the two check CNOTs that touch a data qubit shows a
+	// partial syndrome in the first round, and the rule splits one error
+	// into two wrong corrections across consecutive windows that can
+	// jointly complete a logical operator — an O(p) leak in the logical
+	// error rate. Kept as the ablation baseline (see the ablation
+	// benchmarks and DESIGN.md).
+	RuleIntersection
+)
+
+// WindowDecoder applies the three-round windowed rule for one error type.
+type WindowDecoder struct {
+	lut  *LUT
+	rule Rule
+	// carry is the newest round of the previous window (thesis Fig 5.9).
+	carry Syndrome
+}
+
+// NewWindowDecoder wraps a LUT with the windowed agreement rule.
+func NewWindowDecoder(lut *LUT) *WindowDecoder { return &WindowDecoder{lut: lut} }
+
+// SetRule switches the decoding rule (for ablations).
+func (w *WindowDecoder) SetRule(r Rule) { w.rule = r }
+
+// Reset clears the carried round (after initialization).
+func (w *WindowDecoder) Reset() { w.carry = 0 }
+
+// LUT exposes the underlying table.
+func (w *WindowDecoder) LUT() *LUT { return w.lut }
+
+// Decode consumes the two fresh rounds of a window and returns the
+// data-qubit corrections. The rule requires two consecutive agreeing
+// rounds: when r1 == r2 the common syndrome is decoded; when they
+// disagree — a fault arrived mid-round (partial syndrome) or an ancilla
+// measurement failed — the whole window is deferred, and the persistent
+// part reappears in agreement next window. Decoding the bitwise
+// intersection instead would split a mid-round data error into two wrong
+// corrections across consecutive windows that can jointly complete a
+// logical operator; the agreement rule is what keeps the decoder
+// fault-tolerant to single faults at any point in the schedule. When the
+// fresh rounds disagree but the older pair (carry, r1) agrees, that
+// already-confirmed part is decoded immediately (the carried round of
+// thesis Fig 5.9); the newest round becomes the next window's carry.
+func (w *WindowDecoder) Decode(r1, r2 Syndrome) []int {
+	carry := w.carry
+	w.carry = r2
+	if w.rule == RuleIntersection {
+		confirmed := (carry & r1) | (r1 & r2) | (carry & r2)
+		return w.lut.Decode(confirmed)
+	}
+	if r1 == r2 {
+		return w.lut.Decode(r1)
+	}
+	if carry == r1 {
+		// Confirmed since the previous window; correct it now and leave
+		// the disagreement between r1 and r2 for the next window. The
+		// carried round must be adjusted: the correction removes the
+		// confirmed part from future syndromes.
+		w.carry = r2 ^ r1
+		return w.lut.Decode(r1)
+	}
+	return nil
+}

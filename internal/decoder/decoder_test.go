@@ -1,0 +1,224 @@
+package decoder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// SC17 supports in the normal orientation: Z stabilizers (which detect X
+// errors) and X stabilizers (which detect Z errors), thesis Table 2.1.
+var (
+	zSupports = [NumChecks][]int{{0, 3}, {1, 2, 4, 5}, {3, 4, 6, 7}, {5, 8}}
+	xSupports = [NumChecks][]int{{0, 1, 3, 4}, {1, 2}, {4, 5, 7, 8}, {6, 7}}
+)
+
+func TestBuildLUTCoversAllSyndromes(t *testing.T) {
+	for _, sup := range [][NumChecks][]int{zSupports, xSupports} {
+		l := BuildLUT(sup, 9)
+		for s := Syndrome(0); s < 16; s++ {
+			corr := l.Decode(s)
+			if got := l.SyndromeOf(corr); got != s {
+				t.Errorf("supports %v: Decode(%v) = %v reproduces syndrome %v",
+					sup, s, corr, got)
+			}
+		}
+	}
+}
+
+func TestLUTZeroSyndromeNoCorrection(t *testing.T) {
+	l := BuildLUT(zSupports, 9)
+	if len(l.Decode(0)) != 0 {
+		t.Error("trivial syndrome should decode to no corrections")
+	}
+}
+
+func TestLUTSingleErrorsDecodeExactly(t *testing.T) {
+	// Each single X error must decode back to a correction with the same
+	// syndrome and weight ≤ the true error weight (min-weight property).
+	l := BuildLUT(zSupports, 9)
+	for q := 0; q < 9; q++ {
+		s := l.SyndromeOf([]int{q})
+		corr := l.Decode(s)
+		if len(corr) != 1 {
+			t.Errorf("single error on D%d (syndrome %v) decoded to %v", q, s, corr)
+		}
+		// The correction must cancel the error: error+correction has
+		// trivial syndrome.
+		both := append([]int{q}, corr...)
+		if got := l.SyndromeOf(both); got != 0 {
+			t.Errorf("correction %v does not cancel error on D%d", corr, q)
+		}
+	}
+}
+
+func TestLUTMinWeight(t *testing.T) {
+	l := BuildLUT(zSupports, 9)
+	// Exhaustively confirm no lighter correction exists for any syndrome.
+	minWeight := map[Syndrome]int{}
+	for a := 0; a < 9; a++ {
+		s := l.SyndromeOf([]int{a})
+		if w, ok := minWeight[s]; !ok || 1 < w {
+			minWeight[s] = 1
+		}
+		for b := a + 1; b < 9; b++ {
+			s2 := l.SyndromeOf([]int{a, b})
+			if w, ok := minWeight[s2]; !ok || 2 < w {
+				minWeight[s2] = 2
+			}
+		}
+	}
+	minWeight[0] = 0
+	for s := Syndrome(0); s < 16; s++ {
+		want, ok := minWeight[s]
+		if !ok {
+			continue // weight-3 syndrome
+		}
+		if got := len(l.Decode(s)); got != want {
+			t.Errorf("syndrome %v: decoded weight %d, minimum is %d", s, got, want)
+		}
+	}
+}
+
+func TestSyndromeHelpers(t *testing.T) {
+	var s Syndrome
+	s = s.SetBit(1).SetBit(3)
+	if !s.Bit(1) || !s.Bit(3) || s.Bit(0) {
+		t.Errorf("bit ops wrong: %v", s)
+	}
+	if s.Weight() != 2 {
+		t.Errorf("weight = %d", s.Weight())
+	}
+	if s.String() != "1010" {
+		t.Errorf("rendering = %q", s.String())
+	}
+}
+
+func TestWindowDecoderPersistentError(t *testing.T) {
+	w := NewWindowDecoder(BuildLUT(zSupports, 9))
+	// X error on D4 flips Z stabilizers 1 and 2 → syndrome 0110.
+	s := w.LUT().SyndromeOf([]int{4})
+	corr := w.Decode(s, s) // present in both rounds → corrected
+	if len(corr) != 1 || corr[0] != 4 {
+		t.Fatalf("persistent error decoded to %v, want [4]", corr)
+	}
+}
+
+func TestWindowDecoderMeasurementErrorIgnored(t *testing.T) {
+	w := NewWindowDecoder(BuildLUT(zSupports, 9))
+	s := w.LUT().SyndromeOf([]int{4})
+	// Flip only in round 1, gone in round 2: transient, no correction.
+	if corr := w.Decode(s, 0); len(corr) != 0 {
+		t.Errorf("transient flip corrected: %v", corr)
+	}
+	// And nothing spills into the next window.
+	if corr := w.Decode(0, 0); len(corr) != 0 {
+		t.Errorf("ghost correction: %v", corr)
+	}
+}
+
+func TestWindowDecoderDeferredError(t *testing.T) {
+	w := NewWindowDecoder(BuildLUT(zSupports, 9))
+	s := w.LUT().SyndromeOf([]int{7})
+	// Error appears between the two rounds of window 1: deferred.
+	if corr := w.Decode(0, s); len(corr) != 0 {
+		t.Errorf("premature correction: %v", corr)
+	}
+	// Window 2 sees it in carry + both rounds: corrected once. D6 and D7
+	// share the syndrome (they differ by the stabilizer X6X7), so accept
+	// any weight-1 correction that cancels it.
+	corr := w.Decode(s, s)
+	if len(corr) != 1 || w.LUT().SyndromeOf(append([]int{7}, corr...)) != 0 {
+		t.Errorf("deferred error decoded to %v, want a weight-1 syndrome-cancelling correction", corr)
+	}
+	// Window 3: carry is stale (pre-correction) but rounds are clean.
+	if corr := w.Decode(0, 0); len(corr) != 0 {
+		t.Errorf("stale carry caused correction: %v", corr)
+	}
+}
+
+func TestWindowDecoderReset(t *testing.T) {
+	w := NewWindowDecoder(BuildLUT(zSupports, 9))
+	s := w.LUT().SyndromeOf([]int{0})
+	w.Decode(0, s) // carry now s
+	w.Reset()
+	if corr := w.Decode(s, 0); len(corr) != 0 {
+		t.Errorf("carry not cleared: %v", corr)
+	}
+}
+
+// Property: for random error sets of weight ≤ 2, decoding the produced
+// syndrome yields a correction that cancels the syndrome.
+func TestDecodeCancelsSyndromeProperty(t *testing.T) {
+	l := BuildLUT(xSupports, 9)
+	f := func(a, b uint8) bool {
+		qa, qb := int(a%9), int(b%9)
+		errs := []int{qa}
+		if qb != qa {
+			errs = append(errs, qb)
+		}
+		s := l.SyndromeOf(errs)
+		corr := l.Decode(s)
+		return l.SyndromeOf(append(errs, corr...)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowDecoderPartialSyndrome is the regression test for the
+// mid-round fault: an X error on D4 striking between the two Z-check
+// CNOTs that touch it shows a partial syndrome (only Z1) in the first
+// round and the full syndrome (Z1,Z2) in the second. Decoding the
+// intersection would mis-correct D1 now and D6 next window — together
+// with the real error a logical X1X4X6·stabilizer. The agreement rule
+// must defer and then correct D4 (or an equivalent) cleanly.
+func TestWindowDecoderPartialSyndrome(t *testing.T) {
+	lut := BuildLUT(zSupports, 9)
+	w := NewWindowDecoder(lut)
+	full := lut.SyndromeOf([]int{4}) // 0110
+	partial := Syndrome(0).SetBit(1) // only Z1 saw it in round 1
+	if corr := w.Decode(partial, full); len(corr) != 0 {
+		t.Fatalf("disagreeing rounds must defer, got %v", corr)
+	}
+	corr := w.Decode(full, full)
+	if lut.SyndromeOf(append([]int{4}, corr...)) != 0 {
+		t.Fatalf("correction %v does not cancel the D4 error", corr)
+	}
+	if corr := w.Decode(0, 0); len(corr) != 0 {
+		t.Fatalf("ghost correction after recovery: %v", corr)
+	}
+}
+
+// TestWindowDecoderCarryConfirmation: an error confirmed by the carried
+// round plus the first fresh round is corrected even when a new fault
+// disturbs the second round.
+func TestWindowDecoderCarryConfirmation(t *testing.T) {
+	lut := BuildLUT(zSupports, 9)
+	w := NewWindowDecoder(lut)
+	a := lut.SyndromeOf([]int{0})
+	b := lut.SyndromeOf([]int{8})
+	// Window 1: error A arrives before round 2 → deferred, carried.
+	if corr := w.Decode(0, a); len(corr) != 0 {
+		t.Fatalf("premature: %v", corr)
+	}
+	// Window 2: A confirmed in round 1; B appears fully in round 2.
+	corr := w.Decode(a, a|b)
+	if lut.SyndromeOf(append([]int{0}, corr...)) != 0 {
+		t.Fatalf("carry-confirmed A not corrected: %v", corr)
+	}
+	// Window 3: B persists in both rounds → corrected.
+	corr = w.Decode(b, b)
+	if lut.SyndromeOf(append([]int{8}, corr...)) != 0 {
+		t.Fatalf("B not corrected: %v", corr)
+	}
+}
+
+func TestBuildLUTUnreachablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unreachable syndromes")
+		}
+	}()
+	// One data qubit cannot reach 16 syndromes.
+	BuildLUT([NumChecks][]int{{0}, {0}, {0}, {0}}, 1)
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/decoder"
+)
+
+// TestDecoderRuleAblation demonstrates why the agreement rule matters:
+// the per-bit intersection rule mis-handles faults that strike between
+// the two check CNOTs of an ESM round (partial syndrome in round 1, full
+// in round 2) and leaks an O(p) term into the logical error rate. Below
+// the pseudo-threshold the leak dominates, so the intersection rule's
+// LER must be clearly worse.
+func TestDecoderRuleAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation skipped in -short mode")
+	}
+	const per = 3e-4
+	agree, err := RunLER(LERConfig{
+		PER: per, MaxLogicalErrors: 15, MaxWindows: 300000, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := RunLER(LERConfig{
+		PER: per, MaxLogicalErrors: 15, MaxWindows: 300000, Seed: 21,
+		DecoderRule: decoder.RuleIntersection,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree.LER <= 0 || inter.LER <= 0 {
+		t.Fatalf("degenerate LERs: agree=%v inter=%v", agree.LER, inter.LER)
+	}
+	ratio := inter.LER / agree.LER
+	t.Logf("ablation at p=%g: agreement LER=%.2e, intersection LER=%.2e (×%.1f)",
+		per, agree.LER, inter.LER, ratio)
+	if ratio < 1.5 {
+		t.Errorf("intersection rule should be clearly worse below threshold: ratio %.2f", ratio)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/layers"
+)
+
+// TestBiasedNoiseSkewsLogicalErrors runs the LER experiment under a
+// strongly Z-biased channel (thesis future work: "more realistic error
+// models"; bias per Aliferis & Preskill [28]). Physical Z errors cause
+// logical Z errors, so the |+⟩_L experiment must see a much higher LER
+// than the |0⟩_L experiment — the symmetric model's X/Z equality
+// (§5.3.2) breaks exactly as physics demands.
+func TestBiasedNoiseSkewsLogicalErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("biased-noise study skipped in -short mode")
+	}
+	model := layers.Biased(1.5e-3, 20)
+	x, err := RunLER(LERConfig{
+		PER: model.TotalSingle(), Model: &model,
+		ErrorType: LogicalX, MaxLogicalErrors: 12, MaxWindows: 300000, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := RunLER(LERConfig{
+		PER: model.TotalSingle(), Model: &model,
+		ErrorType: LogicalZ, MaxLogicalErrors: 12, MaxWindows: 300000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("biased η=20 at p=1.5e-3: logical-X LER %.2e, logical-Z LER %.2e", x.LER, z.LER)
+	if z.LER < 3*x.LER {
+		t.Errorf("Z-biased noise should make logical Z errors dominate: X=%.2e Z=%.2e", x.LER, z.LER)
+	}
+}
+
+// TestRelaxationModelLER sanity-checks the twirled T1/Tφ channel end to
+// end: the code still corrects and the LER is finite and sub-physical.
+func TestRelaxationModelLER(t *testing.T) {
+	model := layers.Relaxation(1e-3, 1e-3)
+	r, err := RunLER(LERConfig{
+		PER: model.TotalSingle(), Model: &model,
+		MaxLogicalErrors: 8, MaxWindows: 200000, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LER <= 0 {
+		t.Fatalf("no logical errors observed: %+v", r)
+	}
+	if r.CorrectionGates == 0 {
+		t.Error("decoder never corrected under relaxation noise")
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+// ComputationLERConfig parameterizes the fault-tolerant computation
+// experiment: the execution scheme of thesis Fig 2.6 — QEC windows
+// interleaved with logical operations — on two ninja stars, rather than
+// the single idling qubit of §5.3.
+type ComputationLERConfig struct {
+	// PER is the physical error rate.
+	PER float64
+	// WithPauliFrame inserts the frame below the QEC layer.
+	WithPauliFrame bool
+	// MaxLogicalErrors / MaxWindows terminate the run.
+	MaxLogicalErrors int
+	MaxWindows       int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c ComputationLERConfig) withDefaults() ComputationLERConfig {
+	if c.MaxLogicalErrors <= 0 {
+		c.MaxLogicalErrors = 20
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 1_000_000
+	}
+	return c
+}
+
+// RunComputationLER alternates QEC windows on two logical qubits with
+// noisy transversal CNOT_L gates (whose net effect is the identity on
+// |00⟩_L), probing both Z_L chains in bypass mode after every cycle.
+// When a logical error is detected, both stars are re-initialized
+// noiselessly and counting continues — the restart keeps the expected
+// state well-defined even though CNOT_L propagates logical X errors
+// between the stars. The reported LER is logical errors per window.
+func RunComputationLER(cfg ComputationLERConfig) (LERResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chp := layers.NewChpCore(rand.New(rand.NewSource(rng.Int63())))
+	errl := layers.NewErrorLayer(chp, cfg.PER, rand.New(rand.NewSource(rng.Int63())))
+	counterMid := layers.NewCounterLayer(errl)
+	var below qpdo.Core = counterMid
+	if cfg.WithPauliFrame {
+		below = layers.NewPauliFrameLayer(below)
+	}
+	counterTop := layers.NewCounterLayer(below)
+	star := surface.NewNinjaStarLayer(counterTop, surface.Config{Ancilla: surface.AncillaDedicated})
+	if err := star.CreateQubits(2); err != nil {
+		return LERResult{}, err
+	}
+
+	reinit := func() error {
+		return qpdo.WithBypass(star, func() error {
+			_, err := qpdo.Run(star, circuit.New().Add(gates.Prep, 0).Add(gates.Prep, 1))
+			return err
+		})
+	}
+	if err := reinit(); err != nil {
+		return LERResult{}, err
+	}
+
+	var res LERResult
+	for res.LogicalErrors < cfg.MaxLogicalErrors && res.Windows < cfg.MaxWindows {
+		// One cycle per Fig 2.6: a window on each star, then a logical
+		// operation (the noisy CNOT_L).
+		for q := 0; q < 2; q++ {
+			w, err := star.RunWindow(q)
+			if err != nil {
+				return res, err
+			}
+			res.CorrectionGates += w.CorrectionGates
+			res.CorrectionSlots += w.CorrectionSlots
+			res.Windows++
+		}
+		if err := star.Add(circuit.New().Add(gates.CNOT, 0, 1)); err != nil {
+			return res, err
+		}
+		if _, err := star.Execute(); err != nil {
+			return res, err
+		}
+
+		// Diagnostics: probe both stars on clean syndromes.
+		errored := false
+		if err := qpdo.WithBypass(star, func() error {
+			for q := 0; q < 2; q++ {
+				round, err := star.RunESMRound(q)
+				if err != nil {
+					return err
+				}
+				if round.A != 0 || round.B != 0 {
+					return nil // wait for the decoder to catch up
+				}
+			}
+			for q := 0; q < 2; q++ {
+				out, err := star.ProbeZL(q)
+				if err != nil {
+					return err
+				}
+				if out != 0 {
+					errored = true
+				}
+			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+		if errored {
+			res.LogicalErrors++
+			if err := reinit(); err != nil {
+				return res, err
+			}
+		}
+	}
+	if res.Windows > 0 {
+		res.LER = float64(res.LogicalErrors) / float64(res.Windows)
+	}
+	res.OpsIssued = counterTop.Stats.Ops
+	res.SlotsIssued = counterTop.Stats.Slots
+	res.OpsExecuted = counterMid.Stats.Ops
+	res.SlotsExecuted = counterMid.Stats.Slots
+	res.InjectedErrors = errl.Stats.Total()
+	return res, nil
+}

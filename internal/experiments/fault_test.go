@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/pauli"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+// TestSingleFaultTolerance exhaustively injects one Pauli fault at every
+// time-slot boundary of a QEC window on every qubit and verifies no
+// single fault produces a logical error (the fault-tolerance property of
+// the d=3 code with the two-pattern ESM schedule and the agreement-rule
+// decoder). The X side runs on |0⟩_L and watches Z_L; the Z side runs on
+// |+⟩_L (rotated lattice after H_L) and watches the rotated X_L.
+func TestSingleFaultTolerance(t *testing.T) {
+	failures := 0
+	for _, side := range []struct {
+		name string
+		plus bool
+	}{{"X", false}, {"Z", true}} {
+		// A window is 16 slots (+1 correction slot); scan injections
+		// across two full windows' worth of slots.
+		for slotIdx := 0; slotIdx < 34; slotIdx++ {
+			for q := 0; q < 17; q++ {
+				for _, g := range []*gates.Gate{gates.X, gates.Y, gates.Z} {
+					chp := layers.NewChpCore(rand.New(rand.NewSource(1)))
+					fl := layers.NewFaultLayer(chp, slotIdx, q, g)
+					star := surface.NewNinjaStarLayer(fl, surface.Config{Ancilla: surface.AncillaDedicated, InitRounds: 1})
+					if err := star.CreateQubits(1); err != nil {
+						t.Fatal(err)
+					}
+					init := circuit.New().Add(gates.Prep, 0)
+					if side.plus {
+						init.Add(gates.H, 0)
+					}
+					if err := qpdo.WithBypass(star, func() error {
+						_, err := qpdo.Run(star, init)
+						return err
+					}); err != nil {
+						t.Fatal(err)
+					}
+					for w := 0; w < 4; w++ {
+						if _, err := star.RunWindow(0); err != nil {
+							t.Fatal(err)
+						}
+					}
+					toPhys := func(rel []int) []int {
+						out := make([]int, len(rel))
+						for i, d := range rel {
+							out[i] = star.Star(0).Data[d]
+						}
+						return out
+					}
+					logical := pauli.ZString(toPhys(surface.LogicalZ(star.Star(0).Rotation))...)
+					if side.plus {
+						logical = pauli.XString(toPhys(surface.LogicalX(star.Star(0).Rotation))...)
+					}
+					v, det := chp.Tableau().ExpectPauli(logical)
+					if !det || v != 1 {
+						failures++
+						fmt.Printf("FAULT side=%s slot=%d q=%d gate=%s: logical=%d det=%v\n",
+							side.name, slotIdx, q, g, v, det)
+					}
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d single-fault cases caused logical errors", failures)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surfaced"
+)
+
+// GenericLERConfig parameterizes a logical-error-rate run on the
+// distance-d surface code of package surfaced — the thesis' future-work
+// experiment ("repeat these experiments using a larger distance surface
+// code", Chapter 6) that tests the Eq. 5.12 prediction empirically.
+type GenericLERConfig struct {
+	// Distance is the odd code distance (3 reproduces SC17 behaviour).
+	Distance int
+	// PER is the physical error rate.
+	PER float64
+	// WithPauliFrame inserts the frame below the plane.
+	WithPauliFrame bool
+	// MaxLogicalErrors / MaxWindows terminate the run.
+	MaxLogicalErrors int
+	MaxWindows       int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c GenericLERConfig) withDefaults() GenericLERConfig {
+	if c.Distance == 0 {
+		c.Distance = 3
+	}
+	if c.MaxLogicalErrors <= 0 {
+		c.MaxLogicalErrors = 20
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 1_000_000
+	}
+	return c
+}
+
+// RunGenericLER executes the Listing 5.7 windows protocol on a
+// distance-d plane with the matching decoder.
+func RunGenericLER(cfg GenericLERConfig) (LERResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chp := layers.NewChpCore(rand.New(rand.NewSource(rng.Int63())))
+	errl := layers.NewErrorLayer(chp, cfg.PER, rand.New(rand.NewSource(rng.Int63())))
+	counterMid := layers.NewCounterLayer(errl)
+	var below qpdo.Core = counterMid
+	var pf *layers.PauliFrameLayer
+	if cfg.WithPauliFrame {
+		pf = layers.NewPauliFrameLayer(below)
+		below = pf
+	}
+	counterTop := layers.NewCounterLayer(below)
+	plane, err := surfaced.NewPlane(counterTop, cfg.Distance)
+	if err != nil {
+		return LERResult{}, err
+	}
+
+	if err := qpdo.WithBypass(counterTop, plane.InitZero); err != nil {
+		return LERResult{}, err
+	}
+
+	var res LERResult
+	expected := 0
+	for res.LogicalErrors < cfg.MaxLogicalErrors && res.Windows < cfg.MaxWindows {
+		w, err := plane.RunWindow()
+		if err != nil {
+			return res, err
+		}
+		res.CorrectionGates += w.CorrectionGates
+		res.CorrectionSlots += w.CorrectionSlots
+		res.Windows++
+
+		if err := qpdo.WithBypass(counterTop, func() error {
+			round, err := plane.RunESMRound()
+			if err != nil {
+				return err
+			}
+			if !round.Clean() {
+				return nil
+			}
+			out, err := plane.ProbeZL()
+			if err != nil {
+				return err
+			}
+			if out != expected {
+				res.LogicalErrors++
+				expected = out
+			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+	}
+	if res.Windows > 0 {
+		res.LER = float64(res.LogicalErrors) / float64(res.Windows)
+	}
+	res.OpsIssued = counterTop.Stats.Ops
+	res.SlotsIssued = counterTop.Stats.Slots
+	res.OpsExecuted = counterMid.Stats.Ops
+	res.SlotsExecuted = counterMid.Stats.Slots
+	res.InjectedErrors = errl.Stats.Total()
+	return res, nil
+}

@@ -1,0 +1,361 @@
+// Package experiments implements the evaluation harness of the thesis
+// (Chapter 5): the logical-error-rate windows protocol (Listing 5.7) on
+// the test stack of Fig 5.8, physical-error-rate sweeps with and without
+// a Pauli frame, the derived statistics series (LER difference, window-
+// count coefficient of variation, t-tests — Figs 5.15-5.24), the Pauli
+// frame savings counters (Figs 5.25-5.26) and the analytic upper bound of
+// Eq. 5.12 (Fig 5.27).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/decoder"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+// ErrorType selects which logical error the experiment counts.
+type ErrorType int
+
+// Experiment error types: logical X errors are detected on |0⟩_L with
+// the Z_L probe, logical Z errors on |+⟩_L with the X_L probe
+// (thesis Fig 5.10).
+const (
+	LogicalX ErrorType = iota
+	LogicalZ
+)
+
+// String names the error type.
+func (e ErrorType) String() string {
+	if e == LogicalZ {
+		return "Z"
+	}
+	return "X"
+}
+
+// LERConfig parameterizes one logical-error-rate run.
+type LERConfig struct {
+	// PER is the physical error rate p of the depolarizing model.
+	PER float64
+	// ErrorType selects the monitored logical error.
+	ErrorType ErrorType
+	// WithPauliFrame inserts the Pauli frame layer (thesis Fig 5.8).
+	WithPauliFrame bool
+	// MaxLogicalErrors terminates the run (the thesis uses 50).
+	MaxLogicalErrors int
+	// MaxWindows caps the run length regardless of detected errors.
+	MaxWindows int
+	// InitRounds is the number of ESM rounds during (noiseless)
+	// initialization; the thesis prescribes d = 3.
+	InitRounds int
+	// DecoderRule selects the windowed decoding rule (ablation hook).
+	DecoderRule decoder.Rule
+	// Model optionally overrides the error channel (default: the
+	// thesis' symmetric depolarizing model at rate PER).
+	Model *layers.Model
+	// Seed drives all randomness of the run.
+	Seed int64
+}
+
+func (c LERConfig) withDefaults() LERConfig {
+	if c.MaxLogicalErrors <= 0 {
+		c.MaxLogicalErrors = 50
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 2_000_000
+	}
+	if c.InitRounds <= 0 {
+		c.InitRounds = 3
+	}
+	return c
+}
+
+// LERResult reports one run.
+type LERResult struct {
+	// Windows is R of thesis Eq. 5.1.
+	Windows int
+	// LogicalErrors is m of thesis Eq. 5.1.
+	LogicalErrors int
+	// LER is m / R.
+	LER float64
+
+	// CorrectionGates / CorrectionSlots count what the decoder issued
+	// (before any Pauli frame absorbs them).
+	CorrectionGates int
+	CorrectionSlots int
+
+	// OpsIssued / SlotsIssued count the operation stream entering the
+	// Pauli frame position; OpsExecuted / SlotsExecuted count what left
+	// it toward the error layer. Without a Pauli frame the pairs match.
+	OpsIssued     int
+	SlotsIssued   int
+	OpsExecuted   int
+	SlotsExecuted int
+
+	// InjectedErrors counts physical errors inserted by the error layer.
+	InjectedErrors int
+}
+
+// GatesSavedFrac returns the fraction of gates the Pauli frame filtered
+// (thesis Fig 5.25a).
+func (r LERResult) GatesSavedFrac() float64 {
+	if r.OpsIssued == 0 {
+		return 0
+	}
+	return float64(r.OpsIssued-r.OpsExecuted) / float64(r.OpsIssued)
+}
+
+// SlotsSavedFrac returns the fraction of time slots filtered
+// (thesis Fig 5.25b).
+func (r LERResult) SlotsSavedFrac() float64 {
+	if r.SlotsIssued == 0 {
+		return 0
+	}
+	return float64(r.SlotsIssued-r.SlotsExecuted) / float64(r.SlotsIssued)
+}
+
+// lerStack bundles the layers of the Fig 5.8 test stack.
+type lerStack struct {
+	star       *surface.NinjaStarLayer
+	counterTop *layers.CounterLayer
+	counterMid *layers.CounterLayer
+	pf         *layers.PauliFrameLayer
+	errl       *layers.ErrorLayer
+	chp        *layers.ChpCore
+}
+
+// buildStack assembles: ninja star → counter → [pauli frame] → counter →
+// error → chp (the bottom counter of Fig 5.8 is omitted: its stream is
+// identical to the error layer's input plus injected errors, which the
+// error layer already counts).
+func buildStack(cfg LERConfig) (*lerStack, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &lerStack{}
+	s.chp = layers.NewChpCore(rand.New(rand.NewSource(rng.Int63())))
+	model := layers.Depolarizing(cfg.PER)
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	s.errl = layers.NewErrorLayerModel(s.chp, model, rand.New(rand.NewSource(rng.Int63())))
+	s.counterMid = layers.NewCounterLayer(s.errl)
+	var below qpdo.Core = s.counterMid
+	if cfg.WithPauliFrame {
+		s.pf = layers.NewPauliFrameLayer(below)
+		below = s.pf
+	}
+	s.counterTop = layers.NewCounterLayer(below)
+	s.star = surface.NewNinjaStarLayer(s.counterTop, surface.Config{
+		Ancilla:     surface.AncillaDedicated,
+		InitRounds:  cfg.InitRounds,
+		DecoderRule: cfg.DecoderRule,
+	})
+	if err := s.star.CreateQubits(1); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunLER executes the windows protocol of thesis Listing 5.7 for one
+// physical error rate: initialize the logical qubit noiselessly, then
+// repeatedly run QEC windows, count windows, and — whenever the data
+// qubits carry no observable error — probe for a logical error.
+func RunLER(cfg LERConfig) (LERResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := buildStack(cfg)
+	if err != nil {
+		return LERResult{}, err
+	}
+
+	// Noiseless initialization (bypass mode).
+	init := circuit.New().Add(gates.Prep, 0)
+	if cfg.ErrorType == LogicalZ {
+		init.Add(gates.H, 0) // |+⟩_L on the rotated lattice
+	}
+	if err := qpdo.WithBypass(s.star, func() error {
+		_, err := qpdo.Run(s.star, init)
+		return err
+	}); err != nil {
+		return LERResult{}, err
+	}
+
+	probe := s.star.ProbeZL
+	if cfg.ErrorType == LogicalZ {
+		probe = s.star.ProbeXL
+	}
+	expected := 0
+
+	var res LERResult
+	for res.LogicalErrors < cfg.MaxLogicalErrors && res.Windows < cfg.MaxWindows {
+		w, err := s.star.RunWindow(0)
+		if err != nil {
+			return res, err
+		}
+		res.CorrectionGates += w.CorrectionGates
+		res.CorrectionSlots += w.CorrectionSlots
+		res.Windows++
+
+		// Diagnostics in bypass mode: an error-free ESM round reveals
+		// observable errors; only a clean state is probed for a logical
+		// error (thesis §5.3, Listing 5.7).
+		if err := qpdo.WithBypass(s.star, func() error {
+			round, err := s.star.RunESMRound(0)
+			if err != nil {
+				return err
+			}
+			if round.A != 0 || round.B != 0 {
+				return nil // observable physical errors remain
+			}
+			out, err := probe(0)
+			if err != nil {
+				return err
+			}
+			if out != expected {
+				res.LogicalErrors++
+				expected = out
+			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+	}
+	if res.Windows > 0 {
+		res.LER = float64(res.LogicalErrors) / float64(res.Windows)
+	}
+	res.OpsIssued = s.counterTop.Stats.Ops
+	res.SlotsIssued = s.counterTop.Stats.Slots
+	res.OpsExecuted = s.counterMid.Stats.Ops
+	res.SlotsExecuted = s.counterMid.Stats.Slots
+	res.InjectedErrors = s.errl.Stats.Total()
+	return res, nil
+}
+
+// PointResult aggregates repeated runs at one physical error rate.
+type PointResult struct {
+	PER float64
+	// LERs holds one logical error rate per repetition.
+	LERs []float64
+	// WindowCounts holds R per repetition (for the CV analysis of
+	// thesis Figs 5.19-5.20).
+	WindowCounts []float64
+	// GatesSaved / SlotsSaved hold the per-run saving fractions.
+	GatesSaved []float64
+	SlotsSaved []float64
+}
+
+// MeanLER returns the mean logical error rate of the point.
+func (p PointResult) MeanLER() float64 { return mean(p.LERs) }
+
+// StdLER returns the sample standard deviation of the LERs.
+func (p PointResult) StdLER() float64 { return stddev(p.LERs) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// SweepConfig parameterizes a PER sweep (thesis Figs 5.11-5.14).
+type SweepConfig struct {
+	PERs             []float64
+	Samples          int
+	ErrorType        ErrorType
+	WithPauliFrame   bool
+	MaxLogicalErrors int
+	MaxWindows       int
+	BaseSeed         int64
+	// Progress, when non-nil, receives one call per completed point.
+	Progress func(point int, per float64)
+}
+
+// RunSweep executes repeated LER runs over a PER range.
+func RunSweep(cfg SweepConfig) ([]PointResult, error) {
+	out := make([]PointResult, 0, len(cfg.PERs))
+	for i, per := range cfg.PERs {
+		pt := PointResult{PER: per}
+		for s := 0; s < cfg.Samples; s++ {
+			r, err := RunLER(LERConfig{
+				PER:              per,
+				ErrorType:        cfg.ErrorType,
+				WithPauliFrame:   cfg.WithPauliFrame,
+				MaxLogicalErrors: cfg.MaxLogicalErrors,
+				MaxWindows:       cfg.MaxWindows,
+				Seed:             cfg.BaseSeed + int64(i*1000+s),
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt.LERs = append(pt.LERs, r.LER)
+			pt.WindowCounts = append(pt.WindowCounts, float64(r.Windows))
+			pt.GatesSaved = append(pt.GatesSaved, r.GatesSavedFrac())
+			pt.SlotsSaved = append(pt.SlotsSaved, r.SlotsSavedFrac())
+		}
+		out = append(out, pt)
+		if cfg.Progress != nil {
+			cfg.Progress(i, per)
+		}
+	}
+	return out, nil
+}
+
+// LogSpace returns n log-spaced values from lo to hi inclusive.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// UpperBoundRelativeImprovement evaluates thesis Eq. 5.12: the maximum
+// relative LER improvement a Pauli frame can deliver for a surface code
+// of distance d with tsESM time slots per ESM round.
+func UpperBoundRelativeImprovement(d, tsESM int) float64 {
+	if d < 2 || tsESM < 1 {
+		return math.NaN()
+	}
+	return 1 / float64((d-1)*tsESM+1)
+}
+
+// WindowTimeSlots returns tswindow of thesis Eq. 5.6-5.9 for distance d:
+// (d−1) ESM rounds of tsESM slots plus one correction slot when
+// corrections are pending.
+func WindowTimeSlots(d, tsESM int, corrections bool) int {
+	ts := (d - 1) * tsESM
+	if corrections {
+		ts++
+	}
+	return ts
+}
+
+// FmtPoint renders one sweep point like the thesis data tables.
+func FmtPoint(p PointResult) string {
+	return fmt.Sprintf("PER=%.3e  LER=%.3e ±%.1e  (n=%d)",
+		p.PER, p.MeanLER(), p.StdLER(), len(p.LERs))
+}

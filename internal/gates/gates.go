@@ -1,0 +1,222 @@
+// Package gates defines the quantum gate set used throughout the
+// reproduction: the Pauli gates, the Clifford generators and their common
+// products, the non-Clifford T gates and Toffoli, plus the initialization
+// and measurement pseudo-operations. Each gate carries its unitary matrix
+// (for the state-vector back-end) and its classification (thesis §2.3.3),
+// which is what the Pauli arbiter dispatches on (thesis Table 3.1).
+package gates
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Class partitions operations the way the Pauli arbiter needs
+// (thesis Table 3.1).
+type Class int
+
+const (
+	// ClassPauli marks gates in the Pauli group: tracked by the frame,
+	// never forwarded to the physical execution layer.
+	ClassPauli Class = iota
+	// ClassClifford marks Clifford gates outside the Pauli group: they map
+	// the records and are also executed physically.
+	ClassClifford
+	// ClassNonClifford marks gates outside the Clifford group: they force
+	// a flush of the records of their operands.
+	ClassNonClifford
+	// ClassReset marks initialization to |0⟩.
+	ClassReset
+	// ClassMeasure marks computational-basis measurement.
+	ClassMeasure
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassPauli:
+		return "pauli"
+	case ClassClifford:
+		return "clifford"
+	case ClassNonClifford:
+		return "non-clifford"
+	case ClassReset:
+		return "reset"
+	case ClassMeasure:
+		return "measure"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Name identifies a gate.
+type Name string
+
+// The gate vocabulary. PrepZ and MeasZ are the initialization and
+// measurement pseudo-operations of the shared Core interface.
+const (
+	GateI    Name = "i"
+	GateX    Name = "x"
+	GateY    Name = "y"
+	GateZ    Name = "z"
+	GateH    Name = "h"
+	GateS    Name = "s"
+	GateSdg  Name = "sdg"
+	GateT    Name = "t"
+	GateTdg  Name = "tdg"
+	GateCNOT Name = "cnot"
+	GateCZ   Name = "cz"
+	GateSWAP Name = "swap"
+	GateTOF  Name = "toffoli"
+	PrepZ    Name = "prepz"
+	MeasZ    Name = "measure"
+)
+
+// Gate describes one member of the gate set.
+type Gate struct {
+	Name  Name
+	Arity int
+	Class Class
+	// Matrix is the unitary in row-major order over the computational
+	// basis of Arity qubits (nil for pseudo-operations).
+	Matrix []complex128
+}
+
+var registry = map[Name]*Gate{}
+
+func register(g *Gate) *Gate {
+	registry[g.Name] = g
+	return g
+}
+
+var (
+	isq = complex(1/math.Sqrt2, 0)
+	e4  = cmplx.Exp(complex(0, math.Pi/4))
+)
+
+// The registered gates.
+var (
+	I = register(&Gate{GateI, 1, ClassPauli, []complex128{1, 0, 0, 1}})
+	X = register(&Gate{GateX, 1, ClassPauli, []complex128{0, 1, 1, 0}})
+	Y = register(&Gate{GateY, 1, ClassPauli, []complex128{0, -1i, 1i, 0}})
+	Z = register(&Gate{GateZ, 1, ClassPauli, []complex128{1, 0, 0, -1}})
+	H = register(&Gate{GateH, 1, ClassClifford, []complex128{isq, isq, isq, -isq}})
+	S = register(&Gate{GateS, 1, ClassClifford, []complex128{1, 0, 0, 1i}})
+	// Sdg is the inverse phase gate S†.
+	Sdg = register(&Gate{GateSdg, 1, ClassClifford, []complex128{1, 0, 0, -1i}})
+	T   = register(&Gate{GateT, 1, ClassNonClifford, []complex128{1, 0, 0, e4}})
+	// Tdg is the inverse T†.
+	Tdg  = register(&Gate{GateTdg, 1, ClassNonClifford, []complex128{1, 0, 0, cmplx.Conj(e4)}})
+	CNOT = register(&Gate{GateCNOT, 2, ClassClifford, []complex128{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+		0, 0, 1, 0,
+	}})
+	CZ = register(&Gate{GateCZ, 2, ClassClifford, []complex128{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, -1,
+	}})
+	SWAP = register(&Gate{GateSWAP, 2, ClassClifford, []complex128{
+		1, 0, 0, 0,
+		0, 0, 1, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+	}})
+	Toffoli = register(&Gate{GateTOF, 3, ClassNonClifford, toffoliMatrix()})
+	Prep    = register(&Gate{PrepZ, 1, ClassReset, nil})
+	Measure = register(&Gate{MeasZ, 1, ClassMeasure, nil})
+)
+
+func toffoliMatrix() []complex128 {
+	m := make([]complex128, 64)
+	for i := 0; i < 8; i++ {
+		j := i
+		if i == 6 {
+			j = 7
+		} else if i == 7 {
+			j = 6
+		}
+		m[i*8+j] = 1
+	}
+	return m
+}
+
+// RZ returns the Z-axis rotation R_Z(θ) of thesis Eq. 2.5:
+// diag(1, e^{iθ}). S and T are RZ(π/2) and RZ(π/4). The returned gate is
+// not registered and is conservatively classified non-Clifford, so the
+// Pauli frame flushes pending records before it — correct for every θ
+// (for the Clifford angles it merely costs an early flush).
+func RZ(theta float64) *Gate {
+	return &Gate{
+		Name:   Name(fmt.Sprintf("rz(%.6g)", theta)),
+		Arity:  1,
+		Class:  ClassNonClifford,
+		Matrix: []complex128{1, 0, 0, cmplx.Exp(complex(0, theta))},
+	}
+}
+
+// Lookup returns the gate registered under the name.
+func Lookup(n Name) (*Gate, bool) {
+	g, ok := registry[n]
+	return g, ok
+}
+
+// MustLookup returns the gate or panics; for static tables.
+func MustLookup(n Name) *Gate {
+	g, ok := registry[n]
+	if !ok {
+		panic(fmt.Sprintf("gates: unknown gate %q", n))
+	}
+	return g
+}
+
+// All returns every registered gate, including pseudo-operations.
+func All() []*Gate {
+	out := make([]*Gate, 0, len(registry))
+	for _, g := range registry {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Unitaries returns every registered gate that has a matrix.
+func Unitaries() []*Gate {
+	var out []*Gate
+	for _, g := range All() {
+		if g.Matrix != nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// IsUnitary verifies U·U† = I within tolerance; used by tests to guard
+// the hand-written matrices.
+func (g *Gate) IsUnitary(tol float64) bool {
+	if g.Matrix == nil {
+		return false
+	}
+	n := 1 << g.Arity
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			var sum complex128
+			for k := 0; k < n; k++ {
+				sum += g.Matrix[r*n+k] * cmplx.Conj(g.Matrix[c*n+k])
+			}
+			want := complex(0, 0)
+			if r == c {
+				want = 1
+			}
+			if cmplx.Abs(sum-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the gate name.
+func (g *Gate) String() string { return string(g.Name) }

@@ -1,0 +1,251 @@
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestAllUnitariesAreUnitary(t *testing.T) {
+	for _, g := range Unitaries() {
+		if !g.IsUnitary(1e-12) {
+			t.Errorf("gate %s matrix is not unitary", g)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, n := range []Name{GateI, GateX, GateY, GateZ, GateH, GateS, GateSdg,
+		GateT, GateTdg, GateCNOT, GateCZ, GateSWAP, GateTOF, PrepZ, MeasZ} {
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("gate %q not registered", n)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unexpected gate registered under 'nope'")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic on unknown gate")
+		}
+	}()
+	MustLookup("nope")
+}
+
+func TestClassification(t *testing.T) {
+	// Thesis §2.3.3: Pauli ⊂ Clifford ⊂ U(2^n); T and Toffoli are the
+	// canonical non-Clifford examples.
+	want := map[Name]Class{
+		GateI: ClassPauli, GateX: ClassPauli, GateY: ClassPauli, GateZ: ClassPauli,
+		GateH: ClassClifford, GateS: ClassClifford, GateSdg: ClassClifford,
+		GateCNOT: ClassClifford, GateCZ: ClassClifford, GateSWAP: ClassClifford,
+		GateT: ClassNonClifford, GateTdg: ClassNonClifford, GateTOF: ClassNonClifford,
+		PrepZ: ClassReset, MeasZ: ClassMeasure,
+	}
+	for n, c := range want {
+		if g := MustLookup(n); g.Class != c {
+			t.Errorf("gate %s classified %v, want %v", n, g.Class, c)
+		}
+	}
+}
+
+func TestArity(t *testing.T) {
+	want := map[Name]int{
+		GateX: 1, GateH: 1, GateT: 1, GateCNOT: 2, GateCZ: 2, GateSWAP: 2, GateTOF: 3,
+	}
+	for n, a := range want {
+		if g := MustLookup(n); g.Arity != a {
+			t.Errorf("gate %s arity %d, want %d", n, g.Arity, a)
+		}
+	}
+}
+
+// mat2 multiplies two single-qubit matrices.
+func mat2(a, b []complex128) []complex128 {
+	m := make([]complex128, 4)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			m[r*2+c] = a[r*2]*b[c] + a[r*2+1]*b[2+c]
+		}
+	}
+	return m
+}
+
+func matEq(a, b []complex128, tol float64) bool {
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// matEqUpToPhase reports a = e^{iφ} b for some φ.
+func matEqUpToPhase(a, b []complex128, tol float64) bool {
+	var phase complex128
+	for i := range a {
+		if cmplx.Abs(b[i]) > tol {
+			phase = a[i] / b[i]
+			break
+		}
+	}
+	if phase == 0 {
+		return matEq(a, b, tol)
+	}
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-phase*b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGateIdentities checks the algebraic identities of thesis §2.3.2:
+// XX = YY = ZZ = HH = I, XZ = −ZX, Y = iXZ, HX = ZH, HZ = XH, S·S = Z,
+// T·T = S.
+func TestGateIdentities(t *testing.T) {
+	id := I.Matrix
+	for _, g := range []*Gate{X, Y, Z, H} {
+		if !matEq(mat2(g.Matrix, g.Matrix), id, 1e-12) {
+			t.Errorf("%s·%s != I", g, g)
+		}
+	}
+	xz := mat2(X.Matrix, Z.Matrix)
+	zx := mat2(Z.Matrix, X.Matrix)
+	for i := range xz {
+		if cmplx.Abs(xz[i]+zx[i]) > 1e-12 {
+			t.Fatal("XZ != -ZX")
+		}
+	}
+	iXZ := make([]complex128, 4)
+	for i, v := range xz {
+		iXZ[i] = 1i * v
+	}
+	if !matEq(iXZ, Y.Matrix, 1e-12) {
+		t.Error("Y != iXZ")
+	}
+	if !matEq(mat2(H.Matrix, X.Matrix), mat2(Z.Matrix, H.Matrix), 1e-12) {
+		t.Error("HX != ZH")
+	}
+	if !matEq(mat2(H.Matrix, Z.Matrix), mat2(X.Matrix, H.Matrix), 1e-12) {
+		t.Error("HZ != XH")
+	}
+	if !matEq(mat2(S.Matrix, S.Matrix), Z.Matrix, 1e-12) {
+		t.Error("S·S != Z")
+	}
+	if !matEq(mat2(T.Matrix, T.Matrix), S.Matrix, 1e-12) {
+		t.Error("T·T != S")
+	}
+	if !matEq(mat2(S.Matrix, Sdg.Matrix), id, 1e-12) {
+		t.Error("S·S† != I")
+	}
+	if !matEq(mat2(T.Matrix, Tdg.Matrix), id, 1e-12) {
+		t.Error("T·T† != I")
+	}
+}
+
+// TestCliffordConjugationOfPaulis verifies the normalizer property
+// (thesis Eq. 2.16): conjugating any Pauli by H or S yields a Pauli up to
+// phase.
+func TestCliffordConjugationOfPaulis(t *testing.T) {
+	paulis := []*Gate{I, X, Y, Z}
+	cliffords := []*Gate{H, S, Sdg}
+	dag := func(m []complex128) []complex128 {
+		d := make([]complex128, 4)
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				d[c*2+r] = cmplx.Conj(m[r*2+c])
+			}
+		}
+		return d
+	}
+	for _, c := range cliffords {
+		for _, p := range paulis {
+			conj := mat2(mat2(c.Matrix, p.Matrix), dag(c.Matrix))
+			found := false
+			for _, q := range paulis {
+				if matEqUpToPhase(conj, q.Matrix, 1e-12) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s %s %s† is not a Pauli", c, p, c)
+			}
+		}
+	}
+}
+
+// TestTIsNotClifford verifies T X T† is not proportional to any Pauli.
+func TestTIsNotClifford(t *testing.T) {
+	dag := func(m []complex128) []complex128 {
+		d := make([]complex128, 4)
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				d[c*2+r] = cmplx.Conj(m[r*2+c])
+			}
+		}
+		return d
+	}
+	conj := mat2(mat2(T.Matrix, X.Matrix), dag(T.Matrix))
+	for _, q := range []*Gate{I, X, Y, Z} {
+		if matEqUpToPhase(conj, q.Matrix, 1e-9) {
+			t.Fatalf("T X T† should not be proportional to %s", q)
+		}
+	}
+}
+
+// TestRZFamily verifies thesis Eq. 2.5-2.6: RZ(π) = Z, RZ(π/2) = S,
+// RZ(π/4) = T (exactly, no phase freedom in this convention), rotations
+// compose additively, and every RZ is unitary.
+func TestRZFamily(t *testing.T) {
+	if g := RZ(math.Pi); !matEq(g.Matrix, Z.Matrix, 1e-12) {
+		t.Error("RZ(π) != Z")
+	}
+	if g := RZ(math.Pi / 2); !matEq(g.Matrix, S.Matrix, 1e-12) {
+		t.Error("RZ(π/2) != S")
+	}
+	if g := RZ(math.Pi / 4); !matEq(g.Matrix, T.Matrix, 1e-12) {
+		t.Error("RZ(π/4) != T")
+	}
+	a, b := 0.3, 1.1
+	if !matEq(mat2(RZ(a).Matrix, RZ(b).Matrix), RZ(a+b).Matrix, 1e-12) {
+		t.Error("RZ(a)·RZ(b) != RZ(a+b)")
+	}
+	for _, th := range []float64{0, 0.1, 1, 2.5, -0.7} {
+		if !RZ(th).IsUnitary(1e-12) {
+			t.Errorf("RZ(%v) not unitary", th)
+		}
+	}
+	if RZ(0.3).Class != ClassNonClifford {
+		t.Error("generic RZ must be non-Clifford for the frame")
+	}
+}
+
+func TestToffoliMatrixPermutation(t *testing.T) {
+	m := Toffoli.Matrix
+	// |110⟩ ↔ |111⟩ swap, all other basis states fixed.
+	for i := 0; i < 8; i++ {
+		want := i
+		if i == 6 {
+			want = 7
+		} else if i == 7 {
+			want = 6
+		}
+		for j := 0; j < 8; j++ {
+			expect := complex(0, 0)
+			if j == want {
+				expect = 1
+			}
+			if m[i*8+j] != expect {
+				t.Fatalf("Toffoli[%d][%d] = %v, want %v", i, j, m[i*8+j], expect)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package layers
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// ErrorStats counts what the error layer injected.
+type ErrorStats struct {
+	// SingleQubitErrors counts X/Y/Z errors after single-qubit operations.
+	SingleQubitErrors int
+	// TwoQubitErrors counts correlated error pairs after two-qubit gates.
+	TwoQubitErrors int
+	// MeasurementErrors counts X errors inserted before measurements.
+	MeasurementErrors int
+	// IdleErrors counts errors on idling qubits.
+	IdleErrors int
+	// OpsSeen counts operations (including idle identities) subjected to
+	// the error channel.
+	OpsSeen int
+}
+
+// Total sums all injected errors.
+func (s ErrorStats) Total() int {
+	return s.SingleQubitErrors + s.TwoQubitErrors + s.MeasurementErrors + s.IdleErrors
+}
+
+// ErrorLayer implements the symmetric depolarizing error model of the
+// thesis (§5.3.1, [11, 19]):
+//
+//   - every single-qubit operation (including reset and the identity
+//     applied to idling qubits) suffers an X, Y or Z error with
+//     probability p/3 each;
+//   - a measurement suffers an X error (result flip) with probability p,
+//     inserted before the measurement;
+//   - every two-qubit gate suffers one of the fifteen non-trivial
+//     two-qubit Pauli combinations ({I,X,Y,Z}² minus II) with
+//     probability p/15 each.
+//
+// Idling a qubit for one time slot counts as a physical operation, so
+// removing a time slot (as the Pauli frame does for correction slots)
+// removes one error opportunity for every idle qubit.
+type ErrorLayer struct {
+	qpdo.Forwarder
+	// P is the total physical error rate per operation.
+	P float64
+	// Model is the Pauli channel applied to the stream.
+	Model Model
+	// Stats accumulates injected-error counts.
+	Stats ErrorStats
+
+	rng    *rand.Rand
+	bypass bool
+}
+
+// NewErrorLayer stacks the thesis' symmetric depolarizing error layer
+// with rate p above next.
+func NewErrorLayer(next qpdo.Core, p float64, rng *rand.Rand) *ErrorLayer {
+	return NewErrorLayerModel(next, Depolarizing(p), rng)
+}
+
+// NewErrorLayerModel stacks an error layer with an explicit channel.
+func NewErrorLayerModel(next qpdo.Core, m Model, rng *rand.Rand) *ErrorLayer {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return &ErrorLayer{
+		Forwarder: qpdo.Forwarder{Next: next},
+		P:         m.TotalSingle(),
+		Model:     m,
+		rng:       rng,
+	}
+}
+
+// SetBypass pauses error injection for diagnostic circuits and forwards
+// the toggle.
+func (e *ErrorLayer) SetBypass(on bool) {
+	e.bypass = on
+	e.Next.SetBypass(on)
+}
+
+// twoQubitErrorTable lists the 15 equally likely error pairs for
+// two-qubit gates; nil means identity on that operand.
+var twoQubitErrorTable = func() [][2]*gates.Gate {
+	set := []*gates.Gate{nil, gates.X, gates.Y, gates.Z}
+	var out [][2]*gates.Gate
+	for _, a := range set {
+		for _, b := range set {
+			if a == nil && b == nil {
+				continue
+			}
+			out = append(out, [2]*gates.Gate{a, b})
+		}
+	}
+	return out
+}()
+
+// Add rewrites the circuit with injected errors and forwards it. For each
+// original time slot the layer may emit a pre-slot (X errors preceding
+// measurements) and a post-slot (gate and idle errors); the original slot
+// itself passes through unmodified, so upper-layer accounting of real
+// operations is unaffected.
+func (e *ErrorLayer) Add(c *circuit.Circuit) error {
+	if e.bypass || (e.P <= 0 && e.Model.PMeas <= 0) {
+		return e.Next.Add(c)
+	}
+	n := e.Next.NumQubits()
+	out := circuit.New()
+	for _, slot := range c.Slots {
+		var pre, post []circuit.Operation
+		busy := make(map[int]bool, n)
+		for _, op := range slot.Ops {
+			for _, q := range op.Qubits {
+				busy[q] = true
+			}
+			switch {
+			case op.Gate.Class == gates.ClassMeasure:
+				e.Stats.OpsSeen++
+				if e.rng.Float64() < e.Model.PMeas {
+					pre = append(pre, circuit.NewOp(gates.X, op.Qubits[0]))
+					e.Stats.MeasurementErrors++
+				}
+			case op.Gate.Arity == 2 && e.Model.CorrelatedTwoQubit:
+				e.Stats.OpsSeen++
+				if e.rng.Float64() < e.P {
+					pair := twoQubitErrorTable[e.rng.Intn(len(twoQubitErrorTable))]
+					for i, g := range pair {
+						if g != nil {
+							post = append(post, circuit.NewOp(g, op.Qubits[i]))
+						}
+					}
+					e.Stats.TwoQubitErrors++
+				}
+			default:
+				// Reset and gates (per operand for uncorrelated models)
+				// take the single-qubit channel.
+				for _, q := range op.Qubits {
+					e.Stats.OpsSeen++
+					if g := e.Model.draw(e.rng); g != nil {
+						post = append(post, circuit.NewOp(g, q))
+						if op.Gate.Arity == 2 {
+							e.Stats.TwoQubitErrors++
+						} else {
+							e.Stats.SingleQubitErrors++
+						}
+					}
+				}
+			}
+		}
+		// Idling qubits execute an identity and take the same channel.
+		for q := 0; q < n; q++ {
+			if busy[q] {
+				continue
+			}
+			e.Stats.OpsSeen++
+			if g := e.Model.draw(e.rng); g != nil {
+				post = append(post, circuit.NewOp(g, q))
+				e.Stats.IdleErrors++
+			}
+		}
+		if len(pre) > 0 {
+			out.AddParallel(pre...)
+		}
+		out.AddParallel(slot.Ops...)
+		if len(post) > 0 {
+			out.AddParallel(post...)
+		}
+	}
+	return e.Next.Add(out)
+}
+
+// CounterStats holds what one counter layer observed in the downward
+// circuit stream.
+type CounterStats struct {
+	// Circuits counts Add calls.
+	Circuits int
+	// Slots counts time slots.
+	Slots int
+	// Ops counts operations of all kinds.
+	Ops int
+	// ByClass counts operations per class.
+	ByClass map[gates.Class]int
+}
+
+// CounterLayer is the diagnostic layer of thesis §4.2.3: it counts the
+// operations and time slots flowing between two layers without modifying
+// the stream. Bypass-mode circuits are not counted.
+type CounterLayer struct {
+	qpdo.Forwarder
+	// Stats accumulates the observations.
+	Stats  CounterStats
+	bypass bool
+}
+
+// NewCounterLayer stacks a counter above next.
+func NewCounterLayer(next qpdo.Core) *CounterLayer {
+	return &CounterLayer{
+		Forwarder: qpdo.Forwarder{Next: next},
+		Stats:     CounterStats{ByClass: map[gates.Class]int{}},
+	}
+}
+
+// SetBypass pauses counting and forwards the toggle.
+func (l *CounterLayer) SetBypass(on bool) {
+	l.bypass = on
+	l.Next.SetBypass(on)
+}
+
+// Add counts the circuit and forwards it untouched.
+func (l *CounterLayer) Add(c *circuit.Circuit) error {
+	if !l.bypass {
+		l.Stats.Circuits++
+		l.Stats.Slots += c.NumSlots()
+		for _, slot := range c.Slots {
+			for _, op := range slot.Ops {
+				l.Stats.Ops++
+				l.Stats.ByClass[op.Gate.Class]++
+			}
+		}
+	}
+	return l.Next.Add(c)
+}
+
+// ResetStats clears the counters.
+func (l *CounterLayer) ResetStats() {
+	l.Stats = CounterStats{ByClass: map[gates.Class]int{}}
+}

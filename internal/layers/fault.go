@@ -1,0 +1,59 @@
+package layers
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// FaultLayer injects one deterministic Pauli fault after the Nth time
+// slot that flows through it, then becomes transparent. It is the
+// exhaustive-fault-enumeration counterpart of the stochastic ErrorLayer,
+// used to verify the fault-tolerance property: any single fault must not
+// cause a logical error (thesis §2.6).
+type FaultLayer struct {
+	qpdo.Forwarder
+	// Slot is the global index of the time slot after which the fault
+	// fires (counting every slot of every non-bypass circuit).
+	Slot int
+	// Qubit and Gate define the injected Pauli.
+	Qubit int
+	Gate  *gates.Gate
+
+	// Fired reports whether the fault was injected.
+	Fired bool
+
+	seen   int
+	bypass bool
+}
+
+// NewFaultLayer stacks a single-fault injector above next.
+func NewFaultLayer(next qpdo.Core, slot, qubit int, g *gates.Gate) *FaultLayer {
+	return &FaultLayer{Forwarder: qpdo.Forwarder{Next: next}, Slot: slot, Qubit: qubit, Gate: g}
+}
+
+// SetBypass pauses injection accounting for diagnostic circuits.
+func (f *FaultLayer) SetBypass(on bool) {
+	f.bypass = on
+	f.Next.SetBypass(on)
+}
+
+// SlotsSeen returns how many slots have flowed through so far.
+func (f *FaultLayer) SlotsSeen() int { return f.seen }
+
+// Add forwards the circuit, splicing the fault in after the target slot.
+func (f *FaultLayer) Add(c *circuit.Circuit) error {
+	if f.bypass {
+		return f.Next.Add(c)
+	}
+	out := circuit.New()
+	for _, slot := range c.Slots {
+		out.AddParallel(slot.Ops...)
+		if !f.Fired && f.seen == f.Slot {
+			out.Add(f.Gate, f.Qubit)
+			f.Fired = true
+		}
+		f.seen++
+	}
+	return f.Next.Add(out)
+}

@@ -1,0 +1,80 @@
+package layers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+func TestFaultLayerInjectsOnce(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(1)))
+	fl := NewFaultLayer(qx, 1, 0, gates.X)
+	if err := fl.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	// Slots: 0 (I), 1 (I) ← fault after this one, 2 (measure).
+	c := circuit.New().Add(gates.I, 0).Add(gates.I, 0).Add(gates.Measure, 0)
+	res, err := qpdo.Run(fl, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fl.Fired {
+		t.Fatal("fault never fired")
+	}
+	if res.Last(0) != 1 {
+		t.Errorf("fault X not applied before measurement: %d", res.Last(0))
+	}
+	if fl.SlotsSeen() != 3 {
+		t.Errorf("slots seen = %d", fl.SlotsSeen())
+	}
+	// A second circuit must not re-fire.
+	res, err = qpdo.Run(fl, circuit.New().Add(gates.Prep, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 0 {
+		t.Error("fault fired twice")
+	}
+}
+
+func TestFaultLayerBypass(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(2)))
+	fl := NewFaultLayer(qx, 0, 0, gates.X)
+	if err := fl.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	// Bypass circuits neither fire nor advance the slot counter.
+	if err := qpdo.WithBypass(fl, func() error {
+		_, err := qpdo.Run(fl, circuit.New().Add(gates.I, 0))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Fired || fl.SlotsSeen() != 0 {
+		t.Errorf("bypass affected the injector: fired=%v seen=%d", fl.Fired, fl.SlotsSeen())
+	}
+	res, err := qpdo.Run(fl, circuit.New().Add(gates.I, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fl.Fired || res.Last(0) != 1 {
+		t.Errorf("fault should fire on the first normal slot: fired=%v m=%d", fl.Fired, res.Last(0))
+	}
+}
+
+func TestFaultLayerNeverReachedSlot(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(3)))
+	fl := NewFaultLayer(qx, 99, 0, gates.Z)
+	if err := fl.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpdo.Run(fl, circuit.New().Add(gates.H, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Fired {
+		t.Error("fault fired before its slot")
+	}
+}

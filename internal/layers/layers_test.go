@@ -1,0 +1,570 @@
+package layers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/pauli"
+	"repro/internal/qpdo"
+	"repro/internal/randcirc"
+	"repro/internal/statevec"
+)
+
+func TestQxCoreBell(t *testing.T) {
+	c := NewQxCore(rand.New(rand.NewSource(1)))
+	if err := c.CreateQubits(2); err != nil {
+		t.Fatal(err)
+	}
+	circ := circuit.New().Add(gates.H, 0).Add(gates.CNOT, 0, 1)
+	slot := circ.AppendSlot()
+	circ.AddToSlot(slot, gates.Measure, 0)
+	circ.AddToSlot(slot, gates.Measure, 1)
+	res, err := qpdo.Run(c, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measurements) != 2 {
+		t.Fatalf("want 2 measurements, got %d", len(res.Measurements))
+	}
+	if res.Last(0) != res.Last(1) {
+		t.Error("Bell measurements disagree")
+	}
+	st, _ := c.GetState()
+	if st.Values[0] == qpdo.StateUnknown {
+		t.Error("binary state should be known after measurement")
+	}
+}
+
+func TestChpCoreBell(t *testing.T) {
+	c := NewChpCore(rand.New(rand.NewSource(2)))
+	if err := c.CreateQubits(2); err != nil {
+		t.Fatal(err)
+	}
+	circ := circuit.New().Add(gates.H, 0).Add(gates.CNOT, 0, 1).
+		Add(gates.Measure, 0).Add(gates.Measure, 1)
+	res, err := qpdo.Run(c, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != res.Last(1) {
+		t.Error("Bell measurements disagree")
+	}
+}
+
+func TestChpCoreRejectsNonClifford(t *testing.T) {
+	c := NewChpCore(rand.New(rand.NewSource(3)))
+	if err := c.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(circuit.New().Add(gates.T, 0)); err == nil {
+		t.Error("ChpCore should reject T gates at Add time")
+	}
+}
+
+func TestCoreQubitBookkeeping(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(4)))
+	if err := qx.CreateQubits(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := qx.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if qx.NumQubits() != 3 {
+		t.Fatalf("NumQubits = %d", qx.NumQubits())
+	}
+	// Entangle 0 and 1, leave 2 untouched: removing 2 works, removing
+	// more fails.
+	if _, err := qpdo.Run(qx, circuit.New().Add(gates.H, 0).Add(gates.CNOT, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := qx.RemoveQubits(1); err != nil {
+		t.Fatalf("removing pristine qubit: %v", err)
+	}
+	if err := qx.RemoveQubits(1); err == nil {
+		t.Error("removing an entangled superposition qubit should fail")
+	}
+
+	chpC := NewChpCore(rand.New(rand.NewSource(5)))
+	if err := chpC.CreateQubits(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := chpC.RemoveQubits(1); err != nil {
+		t.Fatalf("chp removal: %v", err)
+	}
+	if chpC.NumQubits() != 2 {
+		t.Fatalf("chp NumQubits = %d", chpC.NumQubits())
+	}
+	// Reclaim the removed qubit.
+	if err := chpC.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if chpC.NumQubits() != 3 {
+		t.Fatalf("chp NumQubits after recreate = %d", chpC.NumQubits())
+	}
+	// Growth after gating non-zero qubits is rejected.
+	if _, err := qpdo.Run(chpC, circuit.New().Add(gates.H, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := chpC.CreateQubits(1); err == nil {
+		t.Error("ChpCore growth after gates should fail")
+	}
+}
+
+func TestCircuitValidationAtAdd(t *testing.T) {
+	c := NewQxCore(rand.New(rand.NewSource(6)))
+	if err := c.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(circuit.New().Add(gates.H, 5)); err == nil {
+		t.Error("out-of-range qubit should be rejected")
+	}
+}
+
+// buildPFStack assembles testbench → PF layer → QxCore.
+func buildPFStack(n int, seed int64) (*PauliFrameLayer, *QxCore) {
+	qx := NewQxCore(rand.New(rand.NewSource(seed)))
+	pf := NewPauliFrameLayer(qx)
+	if err := pf.CreateQubits(n); err != nil {
+		panic(err)
+	}
+	return pf, qx
+}
+
+func TestPauliFrameAbsorbsPaulis(t *testing.T) {
+	pf, qx := buildPFStack(2, 7)
+	circ := circuit.New().Add(gates.X, 0).Add(gates.Z, 1).Add(gates.Y, 0)
+	if _, err := qpdo.Run(pf, circ); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing physical should have happened: state still |00⟩.
+	sup := qx.Vector().Support(1e-9)
+	if len(sup) != 1 || sup[0].Basis != 0 {
+		t.Fatalf("physical state changed: %v", sup)
+	}
+	// Records: qubit 0 tracked X then Y → Z remains; qubit 1 tracked Z.
+	if got := pf.PFU.Frame.Record(0); got != pauli.RecZ {
+		t.Errorf("record 0 = %v, want Z", got)
+	}
+	if got := pf.PFU.Frame.Record(1); got != pauli.RecZ {
+		t.Errorf("record 1 = %v, want Z", got)
+	}
+	if pf.SlotsSaved != 3 {
+		t.Errorf("SlotsSaved = %d, want 3", pf.SlotsSaved)
+	}
+}
+
+func TestPauliFrameMeasurementMapping(t *testing.T) {
+	// X tracked in the frame: physical qubit stays |0⟩ but measurement
+	// reports 1.
+	pf, _ := buildPFStack(1, 8)
+	circ := circuit.New().Add(gates.X, 0).Add(gates.Measure, 0)
+	res, err := qpdo.Run(pf, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 1 {
+		t.Errorf("measurement = %d, want 1 (flipped by frame)", res.Last(0))
+	}
+	// GetState view is flipped too.
+	st, err := pf.GetState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After measurement the record still holds X (measurement does not
+	// clear records), so the binary view shows 1... the core recorded the
+	// raw 0 and the layer flips it.
+	if st.Values[0] != qpdo.StateOne {
+		t.Errorf("binary state = %v, want 1", st.Values[0])
+	}
+}
+
+func TestPauliFrameResetClearsRecord(t *testing.T) {
+	pf, _ := buildPFStack(1, 9)
+	circ := circuit.New().Add(gates.X, 0).Add(gates.Prep, 0).Add(gates.Measure, 0)
+	res, err := qpdo.Run(pf, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 0 {
+		t.Errorf("measurement after reset = %d, want 0", res.Last(0))
+	}
+}
+
+func TestPauliFrameFlushBeforeNonClifford(t *testing.T) {
+	// Track X, then apply T: the X must be flushed physically first.
+	pf, qx := buildPFStack(1, 10)
+	circ := circuit.New().Add(gates.X, 0).Add(gates.T, 0)
+	if _, err := qpdo.Run(pf, circ); err != nil {
+		t.Fatal(err)
+	}
+	if !pf.PFU.Frame.Record(0).IsIdentity() {
+		t.Error("record should be flushed")
+	}
+	// Physical state should be T X |0⟩ = e^{iπ/4}|1⟩ — support on |1⟩.
+	sup := qx.Vector().Support(1e-9)
+	if len(sup) != 1 || sup[0].Basis != 1 {
+		t.Fatalf("physical state = %v, want |1⟩", sup)
+	}
+}
+
+// TestRandomCircuitEquivalence reproduces thesis §5.2.2: executing random
+// Clifford+T circuits with a Pauli frame layer and flushing at the end
+// yields the same quantum state (up to global phase) as executing without
+// the frame. The thesis ran 100 iterations of 1000 gates on 10 qubits;
+// here 40 iterations of 300 gates on 6 qubits keep the test fast while
+// exercising every gate in the set.
+func TestRandomCircuitEquivalence(t *testing.T) {
+	const (
+		iters  = 40
+		qubits = 6
+		ngates = 300
+	)
+	for it := 0; it < iters; it++ {
+		seed := int64(1000 + it)
+		cfg := randcirc.Config{Qubits: qubits, Gates: ngates, IncludeIdentity: true}
+		circ := randcirc.Generate(cfg, rand.New(rand.NewSource(seed)))
+
+		// Reference: plain QxCore.
+		ref := NewQxCore(rand.New(rand.NewSource(seed * 31)))
+		if err := ref.CreateQubits(qubits); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := qpdo.Run(ref, circ.Clone()); err != nil {
+			t.Fatal(err)
+		}
+
+		// Stack with Pauli frame. Same RNG seed: the circuit contains no
+		// measurements, so RNG consumption matches.
+		qx := NewQxCore(rand.New(rand.NewSource(seed * 31)))
+		pf := NewPauliFrameLayer(qx)
+		if err := pf.CreateQubits(qubits); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := qpdo.Run(pf, circ.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := pf.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		ok, _ := statevec.EqualUpToGlobalPhase(ref.Vector(), qx.Vector(), 1e-9)
+		if !ok {
+			t.Fatalf("iteration %d: states differ after flush\nwith PF:\n%s\nwithout:\n%s",
+				it, qx.Vector().SupportString(1e-9), ref.Vector().SupportString(1e-9))
+		}
+	}
+}
+
+// TestRandomCircuitMeasurementEquivalence checks that final-measurement
+// distributions agree between stacks with and without a Pauli frame.
+// Outcomes cannot match shot-for-shot (the physical state differs while
+// records are pending, so the same RNG stream yields different raw
+// draws); the frame guarantees equality in distribution, which this test
+// verifies on per-qubit marginals over many shots.
+func TestRandomCircuitMeasurementEquivalence(t *testing.T) {
+	const (
+		qubits = 4
+		shots  = 600
+	)
+	cfg := randcirc.Config{Qubits: qubits, Gates: 60, CliffordOnly: true}
+	circ := randcirc.GenerateWithMeasurements(cfg, rand.New(rand.NewSource(501)))
+
+	countOnes := func(withPF bool, seed int64) [qubits]int {
+		rng := rand.New(rand.NewSource(seed))
+		var ones [qubits]int
+		for s := 0; s < shots; s++ {
+			qx := NewQxCore(rng)
+			var stack qpdo.Core = qx
+			if withPF {
+				stack = NewPauliFrameLayer(qx)
+			}
+			if err := stack.CreateQubits(qubits); err != nil {
+				t.Fatal(err)
+			}
+			res, err := qpdo.Run(stack, circ.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < qubits; q++ {
+				ones[q] += res.Last(q)
+			}
+		}
+		return ones
+	}
+	ref := countOnes(false, 901)
+	withPF := countOnes(true, 902)
+	for q := 0; q < qubits; q++ {
+		diff := float64(ref[q]-withPF[q]) / shots
+		// 5 sigma for a binomial with n=600 is ≈ 0.1; use that bound.
+		if diff < -0.12 || diff > 0.12 {
+			t.Errorf("qubit %d marginal differs: %d vs %d of %d shots",
+				q, ref[q], withPF[q], shots)
+		}
+	}
+}
+
+func TestPauliFrameFlushesBeforeRZ(t *testing.T) {
+	// A tracked X must be flushed ahead of an arbitrary rotation: the
+	// final state equals the direct X-then-RZ execution exactly.
+	rz := gates.RZ(0.37)
+	ref := NewQxCore(rand.New(rand.NewSource(50)))
+	if err := ref.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpdo.Run(ref, circuit.New().Add(gates.X, 0).Add(rz, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	qx := NewQxCore(rand.New(rand.NewSource(50)))
+	pf := NewPauliFrameLayer(qx)
+	if err := pf.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpdo.Run(pf, circuit.New().Add(gates.X, 0).Add(rz, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !pf.PFU.Frame.Record(0).IsIdentity() {
+		t.Error("record not flushed before RZ")
+	}
+	ok, _ := statevec.EqualUpToGlobalPhase(ref.Vector(), qx.Vector(), 1e-9)
+	if !ok {
+		t.Errorf("states differ:\n%s\nvs\n%s",
+			qx.Vector().SupportString(1e-9), ref.Vector().SupportString(1e-9))
+	}
+}
+
+func TestErrorLayerInjectsAtRate(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(12)))
+	el := NewErrorLayer(qx, 0.5, rand.New(rand.NewSource(13)))
+	if err := el.CreateQubits(2); err != nil {
+		t.Fatal(err)
+	}
+	// 200 slots of single-qubit gates on qubit 0; qubit 1 idles.
+	c := circuit.New()
+	for i := 0; i < 200; i++ {
+		c.Add(gates.H, 0)
+	}
+	if _, err := qpdo.Run(el, c); err != nil {
+		t.Fatal(err)
+	}
+	// 200 gate ops + 200 idles, each erroring with p=0.5: expect ~200
+	// total errors; far from zero.
+	if el.Stats.OpsSeen != 400 {
+		t.Fatalf("OpsSeen = %d, want 400", el.Stats.OpsSeen)
+	}
+	total := el.Stats.Total()
+	if total < 120 || total > 280 {
+		t.Errorf("injected errors = %d, want ≈200", total)
+	}
+	if el.Stats.IdleErrors == 0 {
+		t.Error("idle qubit should take errors")
+	}
+}
+
+func TestErrorLayerZeroRateIsTransparent(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(14)))
+	el := NewErrorLayer(qx, 0, rand.New(rand.NewSource(15)))
+	if err := el.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := qpdo.Run(el, circuit.New().Add(gates.X, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 1 {
+		t.Error("zero-rate error layer altered the computation")
+	}
+}
+
+func TestErrorLayerBypass(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(16)))
+	el := NewErrorLayer(qx, 1.0, rand.New(rand.NewSource(17)))
+	if err := el.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	var res *qpdo.Result
+	err := qpdo.WithBypass(el, func() error {
+		var err error
+		res, err = qpdo.Run(el, circuit.New().Add(gates.X, 0).Add(gates.Measure, 0))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 1 {
+		t.Error("bypass mode should suppress error injection")
+	}
+	if el.Stats.Total() != 0 {
+		t.Errorf("bypass mode injected %d errors", el.Stats.Total())
+	}
+}
+
+func TestErrorLayerMeasurementErrorFlipsResult(t *testing.T) {
+	// p=1 forces an X before every measurement: |0⟩ measures 1.
+	qx := NewQxCore(rand.New(rand.NewSource(18)))
+	el := NewErrorLayer(qx, 1.0, rand.New(rand.NewSource(19)))
+	if err := el.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := qpdo.Run(el, circuit.New().Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 1 {
+		t.Errorf("measurement with p=1 X error = %d, want 1", res.Last(0))
+	}
+	if el.Stats.MeasurementErrors != 1 {
+		t.Errorf("MeasurementErrors = %d", el.Stats.MeasurementErrors)
+	}
+}
+
+func TestCounterLayer(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(20)))
+	cl := NewCounterLayer(qx)
+	if err := cl.CreateQubits(2); err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New().Add(gates.H, 0).Add(gates.CNOT, 0, 1).Add(gates.X, 0)
+	slot := c.AppendSlot()
+	c.AddToSlot(slot, gates.Measure, 0)
+	c.AddToSlot(slot, gates.Measure, 1)
+	if _, err := qpdo.Run(cl, c); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats
+	if st.Circuits != 1 || st.Slots != 4 || st.Ops != 5 {
+		t.Errorf("counter stats = %+v", st)
+	}
+	if st.ByClass[gates.ClassPauli] != 1 || st.ByClass[gates.ClassClifford] != 2 ||
+		st.ByClass[gates.ClassMeasure] != 2 {
+		t.Errorf("per-class counts = %v", st.ByClass)
+	}
+	// Bypass suppresses counting.
+	if err := qpdo.WithBypass(cl, func() error {
+		_, err := qpdo.Run(cl, circuit.New().Add(gates.H, 0))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats.Circuits != 1 {
+		t.Error("bypass circuit was counted")
+	}
+	cl.ResetStats()
+	if cl.Stats.Ops != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+// TestSyndromeMapsThroughFrame verifies the key invariant of the design:
+// a tracked X error on a data qubit propagates through the ESM CNOT into
+// the ancilla's record and the reported syndrome is flipped back, so a
+// decoder above the frame sees as-if-corrected syndromes.
+func TestSyndromeMapsThroughFrame(t *testing.T) {
+	// Qubit 0 = data, qubit 1 = Z-check ancilla.
+	pf, _ := buildPFStack(2, 21)
+	// Track an X "correction" on the data qubit (as QEC would after
+	// detecting an error that is physically still present... here the
+	// physical error never happened, so the physical parity is even).
+	circ := circuit.New().Add(gates.X, 0)
+	// Z-syndrome extraction: ancilla reset, CNOT(data→ancilla), measure.
+	circ.Add(gates.Prep, 1).Add(gates.CNOT, 0, 1).Add(gates.Measure, 1)
+	res, err := qpdo.Run(pf, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The physical ancilla measures 0 (no physical X), but the frame
+	// propagated the tracked X onto the ancilla and flips the result:
+	// the decoder sees syndrome 1 exactly as if the error were physical.
+	if res.Last(1) != 1 {
+		t.Errorf("syndrome = %d, want 1 (tracked error visible to decoder)", res.Last(1))
+	}
+}
+
+// TestTeleportationThroughFrame teleports a non-stabilizer state across
+// a Bell pair with the conditional Pauli corrections absorbed by the
+// frame, over enough seeds to hit all four Bell-measurement branches.
+func TestTeleportationThroughFrame(t *testing.T) {
+	ref := NewQxCore(rand.New(rand.NewSource(60)))
+	if err := ref.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	rz := gates.RZ(1.234)
+	if _, err := qpdo.Run(ref, circuit.New().Add(gates.H, 0).Add(rz, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	branches := map[[2]int]bool{}
+	for seed := int64(0); seed < 40 && len(branches) < 4; seed++ {
+		qx := NewQxCore(rand.New(rand.NewSource(seed)))
+		pf := NewPauliFrameLayer(qx)
+		if err := pf.CreateQubits(3); err != nil {
+			t.Fatal(err)
+		}
+		prep := circuit.New().Add(gates.H, 0).Add(rz, 0).
+			Add(gates.H, 1).Add(gates.CNOT, 1, 2).
+			Add(gates.CNOT, 0, 1).Add(gates.H, 0).
+			Add(gates.Measure, 0).Add(gates.Measure, 1)
+		res, err := qpdo.Run(pf, prep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m0, m1 := res.Last(0), res.Last(1)
+		branches[[2]int{m0, m1}] = true
+		fix := circuit.New()
+		if m1 == 1 {
+			fix.Add(gates.X, 2)
+		}
+		if m0 == 1 {
+			fix.Add(gates.Z, 2)
+		}
+		if fix.NumSlots() > 0 {
+			if _, err := qpdo.Run(pf, fix); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pf.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := qx.Vector().ExtractSubsystem([]int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := statevec.EqualUpToGlobalPhase(got, ref.Vector(), 1e-9); !ok {
+			t.Fatalf("seed %d (branch %d%d): teleported state wrong", seed, m0, m1)
+		}
+	}
+	if len(branches) < 4 {
+		t.Errorf("only %d of 4 Bell branches exercised", len(branches))
+	}
+}
+
+func TestQuantumStateViews(t *testing.T) {
+	qx := NewQxCore(rand.New(rand.NewSource(22)))
+	if err := qx.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := qx.GetQuantumState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := qs.(*VectorState); !ok {
+		t.Errorf("QxCore quantum state type %T", qs)
+	}
+	ch := NewChpCore(rand.New(rand.NewSource(23)))
+	if err := ch.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	qs2, err := ch.GetQuantumState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := qs2.(*StabilizerState)
+	if !ok {
+		t.Fatalf("ChpCore quantum state type %T", qs2)
+	}
+	if ss.Describe() == "" {
+		t.Error("empty stabilizer description")
+	}
+}

@@ -1,0 +1,174 @@
+package layers
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// PauliFrameLayer wraps a Pauli Frame Unit as a transparent QPDO layer
+// (thesis §5.2.1): on the way down it absorbs Pauli gates, maps records
+// through Clifford gates and flushes records ahead of non-Clifford gates;
+// on the way up it inverts measurement results whose qubit record holds
+// an X component. The layer sits above the error layer in the thesis
+// stacks (Fig 5.8), so physical errors injected below are invisible to
+// the frame while corrections arriving from above are absorbed.
+type PauliFrameLayer struct {
+	qpdo.Forwarder
+	// PFU is the Pauli frame unit doing the work; exposed for
+	// inspection by tests and experiments.
+	PFU *core.PFU
+
+	// pendingFlips queues, in stream order, whether each forwarded
+	// measurement must be inverted on the way back up.
+	pendingFlips []measFlip
+	// SlotsSaved counts input time slots that vanished because every
+	// operation in them was absorbed (thesis Fig 5.26).
+	SlotsSaved int
+}
+
+type measFlip struct {
+	qubit int
+	flip  bool
+}
+
+// NewPauliFrameLayer stacks a Pauli frame above next, sized to the
+// current qubit count (it grows with CreateQubits).
+func NewPauliFrameLayer(next qpdo.Core) *PauliFrameLayer {
+	return &PauliFrameLayer{
+		Forwarder: qpdo.Forwarder{Next: next},
+		PFU:       core.NewPFU(next.NumQubits()),
+	}
+}
+
+// CreateQubits grows the frame alongside the stack.
+func (l *PauliFrameLayer) CreateQubits(n int) error {
+	if err := l.Next.CreateQubits(n); err != nil {
+		return err
+	}
+	l.PFU.Frame.Grow(n)
+	return nil
+}
+
+// RemoveQubits shrinks the frame alongside the stack.
+func (l *PauliFrameLayer) RemoveQubits(m int) error {
+	if err := l.Next.RemoveQubits(m); err != nil {
+		return err
+	}
+	return l.PFU.Frame.Shrink(m)
+}
+
+// Add transforms the circuit through the Pauli arbiter and forwards the
+// result. Time slots whose operations were all absorbed are dropped;
+// flush gates for non-Clifford operations are emitted in a dedicated
+// slot preceding the slot of the gate itself.
+func (l *PauliFrameLayer) Add(c *circuit.Circuit) error {
+	if err := qpdo.Validate(c, l.PFU.Frame.Size()); err != nil {
+		return err
+	}
+	out := circuit.New()
+	for _, slot := range c.Slots {
+		var flushOps, mainOps []circuit.Operation
+		for _, op := range slot.Ops {
+			if op.Gate.Class == gates.ClassMeasure {
+				// Capture the flip decision at this point in the stream.
+				l.pendingFlips = append(l.pendingFlips, measFlip{
+					qubit: op.Qubits[0],
+					flip:  l.PFU.Frame.FlipsMeasurement(op.Qubits[0]),
+				})
+			}
+			fwd, err := l.PFU.Process(op)
+			if err != nil {
+				return err
+			}
+			if len(fwd) > 1 {
+				flushOps = append(flushOps, fwd[:len(fwd)-1]...)
+				mainOps = append(mainOps, fwd[len(fwd)-1])
+			} else {
+				mainOps = append(mainOps, fwd...)
+			}
+		}
+		if len(flushOps) > 0 {
+			out.AddParallel(flushOps...)
+		}
+		if len(mainOps) > 0 {
+			out.AddParallel(mainOps...)
+		} else if len(flushOps) == 0 {
+			l.SlotsSaved++
+		}
+	}
+	if out.NumSlots() == 0 {
+		// Nothing physical to do; the whole circuit was absorbed.
+		return nil
+	}
+	return l.Next.Add(out)
+}
+
+// Execute runs the forwarded stream and maps the measurement results
+// through the frame in order.
+func (l *PauliFrameLayer) Execute() (*qpdo.Result, error) {
+	res, err := l.Next.Execute()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Measurements) != len(l.pendingFlips) {
+		return nil, fmt.Errorf("layers: pauli frame saw %d pending measurements but %d results arrived",
+			len(l.pendingFlips), len(res.Measurements))
+	}
+	for i := range res.Measurements {
+		pf := l.pendingFlips[i]
+		m := &res.Measurements[i]
+		if m.Qubit != pf.qubit {
+			return nil, fmt.Errorf("layers: measurement order mismatch: result %d is qubit %d, frame expected qubit %d",
+				i, m.Qubit, pf.qubit)
+		}
+		if pf.flip {
+			m.Value = 1 - m.Value
+			l.PFU.Stats.MeasurementsFlipped++
+		}
+	}
+	l.pendingFlips = l.pendingFlips[:0]
+	return res, nil
+}
+
+// GetState maps the binary-state view through the frame: a qubit whose
+// record holds an X component has its known 0/1 value inverted.
+func (l *PauliFrameLayer) GetState() (*qpdo.State, error) {
+	st, err := l.Next.GetState()
+	if err != nil {
+		return nil, err
+	}
+	for q := range st.Values {
+		if q < l.PFU.Frame.Size() && l.PFU.Frame.FlipsMeasurement(q) {
+			switch st.Values[q] {
+			case qpdo.StateZero:
+				st.Values[q] = qpdo.StateOne
+			case qpdo.StateOne:
+				st.Values[q] = qpdo.StateZero
+			}
+		}
+	}
+	return st, nil
+}
+
+// Flush emits all pending records as physical Pauli gates to the lower
+// layers and executes them, restoring the physical state to what it
+// would have been without a Pauli frame (thesis §5.2.2). Call before
+// comparing full quantum states.
+func (l *PauliFrameLayer) Flush() error {
+	if len(l.pendingFlips) > 0 {
+		return fmt.Errorf("layers: Flush with %d unexecuted measurements queued; call Execute first", len(l.pendingFlips))
+	}
+	c := l.PFU.FlushAll()
+	if c.NumSlots() == 0 {
+		return nil
+	}
+	if err := l.Next.Add(c); err != nil {
+		return err
+	}
+	_, err := l.Next.Execute()
+	return err
+}

@@ -1,0 +1,13 @@
+// Package pauli implements the Pauli-operator algebra that underpins the
+// Pauli frame mechanism: single-qubit Pauli operators, multi-qubit Pauli
+// strings with phase tracking, and the compressed two-bit Pauli records
+// R ∈ {I, X, Z, XZ} used by the Pauli Frame Unit (thesis §3.1–3.2).
+//
+// The record representation is symplectic: a record carries an X component
+// and a Z component, and every element of the Pauli group on one qubit
+// compresses — after discarding global phase — to one of the four records
+// (thesis §3.1, element 3). Clifford conjugation acts on records through
+// the mapping tables of thesis Tables 3.3–3.5, which this package derives
+// from the symplectic update rules and exposes both programmatically and
+// as explicit tables for verification.
+package pauli

@@ -1,0 +1,77 @@
+package pauli
+
+import "fmt"
+
+// Pauli labels a single-qubit Pauli operator up to global phase.
+type Pauli uint8
+
+// The four single-qubit Pauli operators. The numeric encoding is
+// symplectic: bit 0 is the X component, bit 1 is the Z component, so
+// Y ≡ XZ up to the global phase i which the frame machinery discards.
+const (
+	I Pauli = 0b00
+	X Pauli = 0b01
+	Z Pauli = 0b10
+	Y Pauli = 0b11
+)
+
+// HasX reports whether the operator contains an X component (X or Y).
+// An X component is what flips a computational-basis measurement result
+// (thesis Eq. 3.2, Table 3.2).
+func (p Pauli) HasX() bool { return p&X != 0 }
+
+// HasZ reports whether the operator contains a Z component (Z or Y).
+func (p Pauli) HasZ() bool { return p&Z != 0 }
+
+// Mul returns the product of two Pauli operators up to global phase.
+// In the symplectic picture multiplication is component-wise XOR.
+func (p Pauli) Mul(q Pauli) Pauli { return p ^ q }
+
+// Commutes reports whether the two operators commute. Two Pauli operators
+// anti-commute exactly when the symplectic inner product of their (x, z)
+// vectors is odd.
+func (p Pauli) Commutes(q Pauli) bool {
+	px, pz := p&X != 0, p&Z != 0
+	qx, qz := q&X != 0, q&Z != 0
+	cross := 0
+	if px && qz {
+		cross++
+	}
+	if pz && qx {
+		cross++
+	}
+	return cross%2 == 0
+}
+
+// String returns the conventional letter for the operator.
+func (p Pauli) String() string {
+	switch p {
+	case I:
+		return "I"
+	case X:
+		return "X"
+	case Z:
+		return "Z"
+	case Y:
+		return "Y"
+	}
+	return fmt.Sprintf("Pauli(%d)", uint8(p))
+}
+
+// ParsePauli converts a letter into a Pauli operator.
+func ParsePauli(s string) (Pauli, error) {
+	switch s {
+	case "I", "i":
+		return I, nil
+	case "X", "x":
+		return X, nil
+	case "Y", "y":
+		return Y, nil
+	case "Z", "z":
+		return Z, nil
+	}
+	return I, fmt.Errorf("pauli: unknown operator %q", s)
+}
+
+// All lists the four Pauli operators, useful for exhaustive table tests.
+func All() []Pauli { return []Pauli{I, X, Y, Z} }

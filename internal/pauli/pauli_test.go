@@ -1,0 +1,267 @@
+package pauli
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPauliMul(t *testing.T) {
+	cases := []struct {
+		a, b, want Pauli
+	}{
+		{I, I, I}, {I, X, X}, {I, Y, Y}, {I, Z, Z},
+		{X, X, I}, {X, Z, Y}, {Z, X, Y}, {X, Y, Z},
+		{Y, Y, I}, {Z, Z, I}, {Y, Z, X}, {Z, Y, X},
+	}
+	for _, c := range cases {
+		if got := c.a.Mul(c.b); got != c.want {
+			t.Errorf("%v * %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPauliCommutation(t *testing.T) {
+	// X and Z anti-commute (thesis Eq. 2.10); identity commutes with all;
+	// every operator commutes with itself.
+	for _, p := range All() {
+		if !p.Commutes(p) {
+			t.Errorf("%v should commute with itself", p)
+		}
+		if !I.Commutes(p) || !p.Commutes(I) {
+			t.Errorf("identity should commute with %v", p)
+		}
+	}
+	anti := [][2]Pauli{{X, Z}, {X, Y}, {Y, Z}}
+	for _, pair := range anti {
+		if pair[0].Commutes(pair[1]) {
+			t.Errorf("%v and %v should anti-commute", pair[0], pair[1])
+		}
+	}
+}
+
+func TestPauliString_RoundTrip(t *testing.T) {
+	for _, p := range All() {
+		got, err := ParsePauli(p.String())
+		if err != nil {
+			t.Fatalf("ParsePauli(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+	if _, err := ParsePauli("Q"); err == nil {
+		t.Error("ParsePauli(Q) should fail")
+	}
+}
+
+func TestRecordFromPauli(t *testing.T) {
+	cases := map[Pauli]Record{I: RecI, X: RecX, Z: RecZ, Y: RecXZ}
+	for p, want := range cases {
+		if got := RecordFromPauli(p); got != want {
+			t.Errorf("RecordFromPauli(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestMappingTablePauli reproduces thesis Table 3.3: the mapping of a
+// Pauli record by each Pauli generator.
+func TestMappingTablePauli(t *testing.T) {
+	cases := []struct {
+		in   Record
+		gate Pauli
+		out  Record
+	}{
+		{RecI, X, RecX}, {RecI, Z, RecZ},
+		{RecX, X, RecI}, {RecX, Z, RecXZ},
+		{RecZ, X, RecXZ}, {RecZ, Z, RecI},
+		{RecXZ, X, RecZ}, {RecXZ, Z, RecX},
+	}
+	for _, c := range cases {
+		if got := c.in.MulPauli(c.gate); got != c.out {
+			t.Errorf("record %v after %v = %v, want %v", c.in, c.gate, got, c.out)
+		}
+	}
+}
+
+// TestMappingTableClifford reproduces thesis Table 3.4: the mapping of a
+// Pauli record by the single-qubit Clifford generators H and S.
+func TestMappingTableClifford(t *testing.T) {
+	hCases := map[Record]Record{RecI: RecI, RecX: RecZ, RecZ: RecX, RecXZ: RecXZ}
+	for in, out := range hCases {
+		if got := in.MapH(); got != out {
+			t.Errorf("H maps %v to %v, want %v", in, got, out)
+		}
+	}
+	sCases := map[Record]Record{RecI: RecI, RecX: RecXZ, RecZ: RecZ, RecXZ: RecX}
+	for in, out := range sCases {
+		if got := in.MapS(); got != out {
+			t.Errorf("S maps %v to %v, want %v", in, got, out)
+		}
+		if got := in.MapSdg(); got != out {
+			t.Errorf("Sdg maps %v to %v, want %v", in, got, out)
+		}
+	}
+}
+
+// TestMappingTableCNOT reproduces thesis Table 3.5 in full: all sixteen
+// combinations of control and target records.
+func TestMappingTableCNOT(t *testing.T) {
+	cases := []struct{ c, t, wc, wt Record }{
+		{RecI, RecI, RecI, RecI},
+		{RecI, RecX, RecI, RecX},
+		{RecI, RecZ, RecZ, RecZ},
+		{RecI, RecXZ, RecZ, RecXZ},
+		{RecX, RecI, RecX, RecX},
+		{RecX, RecX, RecX, RecI},
+		{RecX, RecZ, RecXZ, RecXZ},
+		{RecX, RecXZ, RecXZ, RecZ},
+		{RecZ, RecI, RecZ, RecI},
+		{RecZ, RecX, RecZ, RecX},
+		{RecZ, RecZ, RecI, RecZ},
+		{RecZ, RecXZ, RecI, RecXZ},
+		{RecXZ, RecI, RecXZ, RecX},
+		{RecXZ, RecX, RecXZ, RecI},
+		{RecXZ, RecZ, RecX, RecXZ},
+		{RecXZ, RecXZ, RecX, RecZ},
+	}
+	for _, cse := range cases {
+		gc, gt := MapCNOT(cse.c, cse.t)
+		if gc != cse.wc || gt != cse.wt {
+			t.Errorf("CNOT maps (%v,%v) to (%v,%v), want (%v,%v)",
+				cse.c, cse.t, gc, gt, cse.wc, cse.wt)
+		}
+	}
+}
+
+func TestMapCZSymmetric(t *testing.T) {
+	for _, a := range AllRecords() {
+		for _, b := range AllRecords() {
+			ra, rb := MapCZ(a, b)
+			sb, sa := MapCZ(b, a)
+			if ra != sa || rb != sb {
+				t.Errorf("CZ mapping not symmetric for (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestMapSWAP(t *testing.T) {
+	for _, a := range AllRecords() {
+		for _, b := range AllRecords() {
+			ra, rb := MapSWAP(a, b)
+			if ra != b || rb != a {
+				t.Errorf("SWAP(%v,%v) = (%v,%v)", a, b, ra, rb)
+			}
+		}
+	}
+}
+
+// TestCliffordMapsAreInvolutionsOrBijections checks that every record
+// mapping is a bijection on the record set, as conjugation by a unitary
+// must be.
+func TestRecordMapsAreBijections(t *testing.T) {
+	maps := map[string]func(Record) Record{
+		"H": Record.MapH,
+		"S": Record.MapS,
+	}
+	for name, f := range maps {
+		seen := map[Record]bool{}
+		for _, r := range AllRecords() {
+			seen[f(r)] = true
+		}
+		if len(seen) != 4 {
+			t.Errorf("%s mapping is not a bijection", name)
+		}
+	}
+}
+
+func TestMeasurementFlip(t *testing.T) {
+	// Thesis Table 3.2: only records containing X flip the result.
+	want := map[Record]bool{RecI: false, RecX: true, RecZ: false, RecXZ: true}
+	for r, w := range want {
+		if got := r.FlipsMeasurement(); got != w {
+			t.Errorf("FlipsMeasurement(%v) = %v, want %v", r, got, w)
+		}
+	}
+}
+
+// Property: tracking two Paulis then compressing equals tracking their
+// product (records form a group isomorphic to Z2×Z2).
+func TestRecordTrackingIsGroupHomomorphism(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p, q := Pauli(a%4), Pauli(b%4)
+		r := RecordFromPauli(Pauli(c % 4))
+		step := r.MulPauli(p).MulPauli(q)
+		direct := r.MulPauli(p.Mul(q))
+		return step == direct
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPauliStringMul(t *testing.T) {
+	// Product of all four SC17 Z stabilizers (thesis Table 2.1).
+	z0 := ZString(0, 3)
+	z1 := ZString(1, 2, 4, 5)
+	z2 := ZString(3, 4, 6, 7)
+	z3 := ZString(5, 8)
+	prod := z0.Mul(z1).Mul(z2).Mul(z3)
+	want := ZString(0, 1, 2, 6, 7, 8)
+	if prod.String() != want.String() {
+		t.Errorf("product of Z stabilizers = %v, want %v", prod, want)
+	}
+	// Multiplying by Z_L = Z0Z4Z8 and by Z3Z4Z5 reconstructs Z on all nine
+	// qubits: Z⊗9 = (∏ Z-stabilizers)·Z3Z4Z5·... shown in the design notes.
+	all := prod.Mul(ZString(3, 4, 5))
+	if all.Weight() != 9 || all.Negative {
+		t.Errorf("Z⊗9 reconstruction failed: %v", all)
+	}
+}
+
+func TestPauliStringCommutes(t *testing.T) {
+	// Every SC17 X stabilizer must commute with every Z stabilizer.
+	xs := []PauliString{XString(0, 1, 3, 4), XString(1, 2), XString(4, 5, 7, 8), XString(6, 7)}
+	zs := []PauliString{ZString(0, 3), ZString(1, 2, 4, 5), ZString(3, 4, 6, 7), ZString(5, 8)}
+	for _, x := range xs {
+		for _, z := range zs {
+			if !x.Commutes(z) {
+				t.Errorf("stabilizers %v and %v should commute", x, z)
+			}
+		}
+	}
+	// X_L = X2X4X6 anti-commutes with Z_L = Z0Z4Z8 (they overlap on D4).
+	if XString(2, 4, 6).Commutes(ZString(0, 4, 8)) {
+		t.Error("X_L and Z_L should anti-commute")
+	}
+}
+
+func TestPauliStringMulPhases(t *testing.T) {
+	// X0 · Z1 has disjoint support: product is X0Z1 with positive sign.
+	p := XString(0).Mul(ZString(1))
+	if p.Negative || p.Weight() != 2 {
+		t.Errorf("disjoint product wrong: %v", p)
+	}
+	// Y0·Y0 = I with positive sign.
+	y := NewPauliString(map[int]Pauli{0: Y})
+	if got := y.Mul(y); got.Weight() != 0 || got.Negative {
+		t.Errorf("Y*Y = %v, want +I", got)
+	}
+	// (X0Z1)·(Z0X1): per-qubit XZ products give (i^3 Y)(i Y) = Y⊗Y positive.
+	a := NewPauliString(map[int]Pauli{0: X, 1: Z})
+	b := NewPauliString(map[int]Pauli{0: Z, 1: X})
+	got := a.Mul(b)
+	if got.Negative || got.At(0) != Y || got.At(1) != Y {
+		t.Errorf("(X0Z1)(Z0X1) = %v, want +Y0Y1", got)
+	}
+}
+
+func TestPauliStringNegated(t *testing.T) {
+	s := ZString(0, 4, 8)
+	if !s.Negated().Negative || s.Negated().Negated().Negative {
+		t.Error("Negated should toggle the sign")
+	}
+	if s.Negated().String() != "-Z0Z4Z8" {
+		t.Errorf("rendering: %v", s.Negated())
+	}
+}

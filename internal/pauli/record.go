@@ -1,0 +1,112 @@
+package pauli
+
+import "fmt"
+
+// Record is the compressed two-bit Pauli record of one qubit inside a
+// Pauli frame (thesis §3.2). A record stores the X and Z components of
+// the accumulated Pauli operator; global phase is discarded, so the four
+// possible values are I, X, Z and XZ (thesis §3.1).
+type Record struct {
+	// X is set when the accumulated operator contains an X component.
+	X bool
+	// Z is set when the accumulated operator contains a Z component.
+	Z bool
+}
+
+// Named record values matching the thesis notation {I, X, Z, XZ}.
+var (
+	RecI  = Record{}
+	RecX  = Record{X: true}
+	RecZ  = Record{Z: true}
+	RecXZ = Record{X: true, Z: true}
+)
+
+// AllRecords lists the four possible records, for exhaustive table tests.
+func AllRecords() []Record { return []Record{RecI, RecX, RecZ, RecXZ} }
+
+// RecordFromPauli converts a Pauli operator into the record that tracks
+// it: Y is recorded as XZ since Y = iXZ and the phase i is dropped.
+func RecordFromPauli(p Pauli) Record {
+	return Record{X: p.HasX(), Z: p.HasZ()}
+}
+
+// Pauli returns the Pauli operator the record represents up to phase
+// (XZ maps back to Y).
+func (r Record) Pauli() Pauli {
+	var p Pauli
+	if r.X {
+		p |= X
+	}
+	if r.Z {
+		p |= Z
+	}
+	return p
+}
+
+// IsIdentity reports whether nothing is tracked.
+func (r Record) IsIdentity() bool { return !r.X && !r.Z }
+
+// FlipsMeasurement reports whether a computational-basis measurement
+// result of the qubit must be inverted (thesis Table 3.2): only the X
+// component flips the outcome.
+func (r Record) FlipsMeasurement() bool { return r.X }
+
+// MulPauli returns the record after a further Pauli operator is tracked
+// (thesis Table 3.3, extended with Y). Tracking is multiplication in the
+// Pauli group modulo phase: component-wise XOR.
+func (r Record) MulPauli(p Pauli) Record {
+	return Record{X: r.X != p.HasX(), Z: r.Z != p.HasZ()}
+}
+
+// String renders the record in the thesis notation.
+func (r Record) String() string {
+	switch r {
+	case RecI:
+		return "I"
+	case RecX:
+		return "X"
+	case RecZ:
+		return "Z"
+	case RecXZ:
+		return "XZ"
+	}
+	return fmt.Sprintf("Record{%v,%v}", r.X, r.Z)
+}
+
+// MapH conjugates the record by a Hadamard gate: H X H = Z, H Z H = X,
+// so the components swap (thesis Table 3.4).
+func (r Record) MapH() Record { return Record{X: r.Z, Z: r.X} }
+
+// MapS conjugates the record by the phase gate S: S X S† = Y = iXZ,
+// S Z S† = Z, so the Z component toggles when X is present
+// (thesis Table 3.4).
+func (r Record) MapS() Record { return Record{X: r.X, Z: r.Z != r.X} }
+
+// MapSdg conjugates the record by S†. Up to the discarded global phase
+// S† acts on records exactly like S (S† X S = −Y, S† Z S = Z).
+func (r Record) MapSdg() Record { return r.MapS() }
+
+// MapCNOT conjugates the pair of records for the control and target of a
+// CNOT gate (thesis Table 3.5). X on the control copies to the target;
+// Z on the target copies to the control:
+//
+//	CNOT (X⊗I) CNOT = X⊗X,   CNOT (I⊗Z) CNOT = Z⊗Z,
+//	CNOT (Z⊗I) CNOT = Z⊗I,   CNOT (I⊗X) CNOT = I⊗X.
+func MapCNOT(control, target Record) (Record, Record) {
+	c := Record{X: control.X, Z: control.Z != target.Z}
+	t := Record{X: target.X != control.X, Z: target.Z}
+	return c, t
+}
+
+// MapCZ conjugates the pair of records for the two operands of a CZ gate:
+//
+//	CZ (X⊗I) CZ = X⊗Z,   CZ (I⊗X) CZ = Z⊗X,
+//	CZ (Z⊗I) CZ = Z⊗I,   CZ (I⊗Z) CZ = I⊗Z.
+func MapCZ(a, b Record) (Record, Record) {
+	ra := Record{X: a.X, Z: a.Z != b.X}
+	rb := Record{X: b.X, Z: b.Z != a.X}
+	return ra, rb
+}
+
+// MapSWAP exchanges the records of the two operands of a SWAP gate.
+func MapSWAP(a, b Record) (Record, Record) { return b, a }

@@ -1,0 +1,63 @@
+package qasm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/qasm"
+	"repro/internal/qpdo"
+)
+
+// TestQASMPipeline drives a parsed program end to end through a full
+// QPDO stack — the cmd/qpdo code path as an integration test.
+func TestQASMPipeline(t *testing.T) {
+	src := `
+qubits 3
+prep_z q0
+prep_z q1
+prep_z q2
+h q0
+cnot q0,q1
+cnot q1,q2
+x q0
+rz(0.25) q2
+{ measure q0 | measure q1 | measure q2 }
+`
+	prog, err := qasm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withPF := range []bool{false, true} {
+		zeros, ones := 0, 0
+		for shot := 0; shot < 60; shot++ {
+			qx := layers.NewQxCore(rand.New(rand.NewSource(int64(shot))))
+			var stack qpdo.Core = qx
+			if withPF {
+				stack = layers.NewPauliFrameLayer(qx)
+			}
+			if err := stack.CreateQubits(prog.Qubits); err != nil {
+				t.Fatal(err)
+			}
+			res, err := qpdo.Run(stack, prog.Circuit.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// GHZ with an X on q0: outcomes are m0 = 1-g, m1 = m2 = g.
+			if res.Last(1) != res.Last(2) {
+				t.Fatalf("shot %d (pf=%v): GHZ correlation broken", shot, withPF)
+			}
+			if res.Last(0) == res.Last(1) {
+				t.Fatalf("shot %d (pf=%v): X flip missing from q0", shot, withPF)
+			}
+			if res.Last(1) == 1 {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+		if zeros == 0 || ones == 0 {
+			t.Errorf("pf=%v: GHZ branch statistics degenerate: %d/%d", withPF, zeros, ones)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package qasm reads and writes circuits in a minimal QASM-like text
+// format, the interface language the thesis uses toward the QX Simulator
+// (§4.1.1). One operation per line; operations wrapped in braces and
+// separated by pipes share one time slot (the QX parallel syntax):
+//
+//	# odd Bell state
+//	qubits 2
+//	prep_z q0
+//	h q0
+//	cnot q0,q1
+//	x q0
+//	{ measure q0 | measure q1 }
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// nameTable maps QASM mnemonics to gates; the reverse map is derived.
+var nameTable = map[string]*gates.Gate{
+	"i":       gates.I,
+	"x":       gates.X,
+	"y":       gates.Y,
+	"z":       gates.Z,
+	"h":       gates.H,
+	"s":       gates.S,
+	"sdag":    gates.Sdg,
+	"t":       gates.T,
+	"tdag":    gates.Tdg,
+	"cnot":    gates.CNOT,
+	"cz":      gates.CZ,
+	"swap":    gates.SWAP,
+	"toffoli": gates.Toffoli,
+	"prep_z":  gates.Prep,
+	"measure": gates.Measure,
+}
+
+var reverseTable = func() map[gates.Name]string {
+	m := make(map[gates.Name]string, len(nameTable))
+	for s, g := range nameTable {
+		m[g.Name] = s
+	}
+	return m
+}()
+
+// Program is a parsed QASM file: a declared register width plus a
+// circuit.
+type Program struct {
+	Qubits  int
+	Circuit *circuit.Circuit
+}
+
+// Parse reads a QASM program.
+func Parse(src string) (*Program, error) {
+	p := &Program{Circuit: circuit.New()}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "qubits ") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "qubits ")))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("qasm: line %d: bad qubit count %q", lineNo, line)
+			}
+			p.Qubits = n
+			continue
+		}
+		var stmts []string
+		if strings.HasPrefix(line, "{") {
+			if !strings.HasSuffix(line, "}") {
+				return nil, fmt.Errorf("qasm: line %d: unterminated parallel block", lineNo)
+			}
+			inner := strings.TrimSuffix(strings.TrimPrefix(line, "{"), "}")
+			stmts = strings.Split(inner, "|")
+		} else {
+			stmts = []string{line}
+		}
+		slot := p.Circuit.AppendSlot()
+		for _, stmt := range stmts {
+			op, err := parseOp(strings.TrimSpace(stmt))
+			if err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo, err)
+			}
+			p.Circuit.AddToSlot(slot, op.Gate, op.Qubits...)
+		}
+	}
+	if p.Qubits == 0 {
+		p.Qubits = p.Circuit.MaxQubit() + 1
+	}
+	if err := p.Circuit.Validate(); err != nil {
+		return nil, fmt.Errorf("qasm: %w", err)
+	}
+	if mq := p.Circuit.MaxQubit(); mq >= p.Qubits {
+		return nil, fmt.Errorf("qasm: operation on q%d exceeds declared register of %d", mq, p.Qubits)
+	}
+	return p, nil
+}
+
+func parseOp(stmt string) (circuit.Operation, error) {
+	fields := strings.Fields(stmt)
+	if len(fields) == 0 {
+		return circuit.Operation{}, fmt.Errorf("empty statement")
+	}
+	mnemonic := strings.ToLower(fields[0])
+	g, ok := nameTable[mnemonic]
+	if !ok {
+		if strings.HasPrefix(mnemonic, "rz(") && strings.HasSuffix(mnemonic, ")") {
+			theta, err := strconv.ParseFloat(mnemonic[3:len(mnemonic)-1], 64)
+			if err != nil {
+				return circuit.Operation{}, fmt.Errorf("bad rotation angle in %q", fields[0])
+			}
+			g = gates.RZ(theta)
+		} else {
+			return circuit.Operation{}, fmt.Errorf("unknown gate %q", fields[0])
+		}
+	}
+	if len(fields) != 2 {
+		return circuit.Operation{}, fmt.Errorf("gate %s wants a comma-separated operand list", fields[0])
+	}
+	var qubits []int
+	for _, tok := range strings.Split(fields[1], ",") {
+		tok = strings.TrimSpace(tok)
+		if !strings.HasPrefix(tok, "q") {
+			return circuit.Operation{}, fmt.Errorf("operand %q must look like q<N>", tok)
+		}
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 0 {
+			return circuit.Operation{}, fmt.Errorf("bad operand %q", tok)
+		}
+		qubits = append(qubits, n)
+	}
+	if len(qubits) != g.Arity {
+		return circuit.Operation{}, fmt.Errorf("gate %s wants %d operands, got %d", g, g.Arity, len(qubits))
+	}
+	return circuit.NewOp(g, qubits...), nil
+}
+
+// Write renders a circuit as QASM text.
+func Write(qubits int, c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qubits %d\n", qubits)
+	for _, slot := range c.Slots {
+		if len(slot.Ops) == 0 {
+			continue
+		}
+		stmts := make([]string, 0, len(slot.Ops))
+		for _, op := range slot.Ops {
+			name, ok := reverseTable[op.Gate.Name]
+			if !ok {
+				if strings.HasPrefix(string(op.Gate.Name), "rz(") {
+					name = string(op.Gate.Name)
+				} else {
+					return "", fmt.Errorf("qasm: gate %s has no mnemonic", op.Gate)
+				}
+			}
+			qs := make([]string, len(op.Qubits))
+			for i, q := range op.Qubits {
+				qs[i] = fmt.Sprintf("q%d", q)
+			}
+			stmts = append(stmts, fmt.Sprintf("%s %s", name, strings.Join(qs, ",")))
+		}
+		if len(stmts) == 1 {
+			b.WriteString(stmts[0])
+		} else {
+			fmt.Fprintf(&b, "{ %s }", strings.Join(stmts, " | "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

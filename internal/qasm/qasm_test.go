@@ -1,0 +1,152 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+const bellSrc = `
+# odd Bell state (thesis Fig 5.6)
+qubits 2
+prep_z q0
+prep_z q1
+h q0
+cnot q0,q1
+x q0
+{ measure q0 | measure q1 }
+`
+
+func TestParseBell(t *testing.T) {
+	p, err := Parse(bellSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Qubits != 2 {
+		t.Errorf("qubits = %d", p.Qubits)
+	}
+	if p.Circuit.NumSlots() != 6 {
+		t.Errorf("slots = %d", p.Circuit.NumSlots())
+	}
+	if p.Circuit.NumOps() != 7 {
+		t.Errorf("ops = %d", p.Circuit.NumOps())
+	}
+	last := p.Circuit.Slots[5]
+	if len(last.Ops) != 2 || last.Ops[0].Gate != gates.Measure {
+		t.Errorf("parallel slot parsed wrong: %v", last.Ops)
+	}
+	cn := p.Circuit.Slots[3].Ops[0]
+	if cn.Gate != gates.CNOT || cn.Qubits[0] != 0 || cn.Qubits[1] != 1 {
+		t.Errorf("cnot parsed wrong: %v", cn)
+	}
+}
+
+func TestParseInfersQubits(t *testing.T) {
+	p, err := Parse("h q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Qubits != 4 {
+		t.Errorf("inferred qubits = %d, want 4", p.Qubits)
+	}
+}
+
+func TestParseAllMnemonics(t *testing.T) {
+	src := `qubits 3
+i q0
+x q0
+y q0
+z q0
+h q0
+s q0
+sdag q0
+t q0
+tdag q0
+cnot q0,q1
+cz q0,q1
+swap q0,q1
+toffoli q0,q1,q2
+prep_z q0
+measure q0
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Circuit.NumOps() != 15 {
+		t.Errorf("ops = %d", p.Circuit.NumOps())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate q0",        // unknown gate
+		"cnot q0",              // arity
+		"h walrus",             // bad operand
+		"h q-1",                // negative
+		"{ h q0 | x q0 }",      // slot conflict
+		"qubits 1\ncnot q0,q1", // exceeds register
+		"{ h q0",               // unterminated block
+		"qubits zero",          // bad count
+		"h",                    // missing operands
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := Parse(bellSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Write(p.Qubits, p.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parsing written QASM: %v\n%s", err, out)
+	}
+	if p2.Circuit.NumOps() != p.Circuit.NumOps() || p2.Circuit.NumSlots() != p.Circuit.NumSlots() {
+		t.Errorf("round trip changed the circuit:\n%s", out)
+	}
+	if !strings.Contains(out, "{ measure q0 | measure q1 }") {
+		t.Errorf("parallel block not written: %s", out)
+	}
+}
+
+func TestParseRZ(t *testing.T) {
+	p, err := Parse("rz(0.785398) q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := p.Circuit.Slots[0].Ops[0]
+	if op.Gate.Class != gates.ClassNonClifford || op.Qubits[0] != 1 {
+		t.Errorf("rz parsed wrong: %v", op)
+	}
+	// Round trip.
+	out, err := Write(p.Qubits, p.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-parsing written rz: %v\n%s", err, out)
+	}
+	if _, err := Parse("rz(bogus) q0"); err == nil {
+		t.Error("bad angle accepted")
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	p, err := Parse("\n# only comments\n\n  # more\nh q0 # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Circuit.NumOps() != 1 {
+		t.Errorf("ops = %d", p.Circuit.NumOps())
+	}
+}

@@ -1,0 +1,129 @@
+package qpdo
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// fakeCore records calls for Forwarder testing.
+type fakeCore struct {
+	created, removed int
+	adds             int
+	executes         int
+	bypass           bool
+	lastBypass       []bool
+}
+
+func (f *fakeCore) CreateQubits(n int) error { f.created += n; return nil }
+func (f *fakeCore) RemoveQubits(m int) error { f.removed += m; return nil }
+func (f *fakeCore) NumQubits() int           { return f.created - f.removed }
+func (f *fakeCore) Add(*circuit.Circuit) error {
+	f.adds++
+	return nil
+}
+func (f *fakeCore) Execute() (*Result, error) {
+	f.executes++
+	return &Result{Measurements: []Measurement{{Qubit: 0, Value: 1}}}, nil
+}
+func (f *fakeCore) GetState() (*State, error) {
+	return &State{Values: make([]BinaryState, f.NumQubits())}, nil
+}
+func (f *fakeCore) GetQuantumState() (QuantumState, error) { return nil, ErrUnsupported }
+func (f *fakeCore) SetBypass(on bool) {
+	f.bypass = on
+	f.lastBypass = append(f.lastBypass, on)
+}
+
+func TestForwarderDelegatesEverything(t *testing.T) {
+	fc := &fakeCore{}
+	fw := &Forwarder{Next: fc}
+	if err := fw.CreateQubits(3); err != nil || fc.created != 3 {
+		t.Error("CreateQubits not forwarded")
+	}
+	if err := fw.RemoveQubits(1); err != nil || fc.removed != 1 {
+		t.Error("RemoveQubits not forwarded")
+	}
+	if fw.NumQubits() != 2 {
+		t.Error("NumQubits not forwarded")
+	}
+	if err := fw.Add(circuit.New()); err != nil || fc.adds != 1 {
+		t.Error("Add not forwarded")
+	}
+	if _, err := fw.Execute(); err != nil || fc.executes != 1 {
+		t.Error("Execute not forwarded")
+	}
+	if _, err := fw.GetState(); err != nil {
+		t.Error("GetState not forwarded")
+	}
+	if _, err := fw.GetQuantumState(); !errors.Is(err, ErrUnsupported) {
+		t.Error("GetQuantumState not forwarded")
+	}
+	fw.SetBypass(true)
+	if !fc.bypass {
+		t.Error("SetBypass not forwarded")
+	}
+}
+
+func TestRunHelper(t *testing.T) {
+	fc := &fakeCore{}
+	res, err := Run(fc, circuit.New().Add(gates.H, 0))
+	if err != nil || fc.adds != 1 || fc.executes != 1 {
+		t.Fatalf("Run: adds=%d executes=%d err=%v", fc.adds, fc.executes, err)
+	}
+	if res.Last(0) != 1 {
+		t.Error("Run result lost")
+	}
+}
+
+func TestWithBypassRestores(t *testing.T) {
+	fc := &fakeCore{}
+	err := WithBypass(fc, func() error { return errors.New("inner") })
+	if err == nil || err.Error() != "inner" {
+		t.Error("inner error lost")
+	}
+	// Bypass toggled on then off even on error.
+	if len(fc.lastBypass) != 2 || !fc.lastBypass[0] || fc.lastBypass[1] {
+		t.Errorf("bypass toggles: %v", fc.lastBypass)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Measurements: []Measurement{
+		{Qubit: 0, Value: 1}, {Qubit: 1, Value: 0}, {Qubit: 0, Value: 0},
+	}}
+	if got := r.ValuesFor(0); len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("ValuesFor(0) = %v", got)
+	}
+	if r.Last(0) != 0 || r.Last(1) != 0 {
+		t.Error("Last wrong")
+	}
+	if r.Last(9) != -1 {
+		t.Error("missing qubit should give -1")
+	}
+}
+
+func TestBinaryStateString(t *testing.T) {
+	if StateZero.String() != "0" || StateOne.String() != "1" || StateUnknown.String() != "x" {
+		t.Error("BinaryState rendering wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := circuit.New().Add(gates.CNOT, 0, 3)
+	if err := Validate(c, 4); err != nil {
+		t.Errorf("valid circuit rejected: %v", err)
+	}
+	if err := Validate(c, 3); err == nil {
+		t.Error("out-of-range circuit accepted")
+	}
+	bad := circuit.New()
+	s := bad.AppendSlot()
+	bad.AddToSlot(s, gates.H, 0)
+	bad.AddToSlot(s, gates.X, 0)
+	if err := Validate(bad, 2); err == nil {
+		t.Error("conflicting circuit accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Package randcirc generates random quantum circuits for the Pauli-frame
+// verification experiments of thesis §5.2.2 (Fig 5.4): uniformly chosen
+// gates from the set {I, X, Y, Z, H, S, CNOT, CZ, SWAP, T, T†} on
+// uniformly chosen operands.
+package randcirc
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// Config controls generation.
+type Config struct {
+	// Qubits is the register width.
+	Qubits int
+	// Gates is the number of gates to draw.
+	Gates int
+	// CliffordOnly restricts the pool to stabilizer gates (for the CHP
+	// back-end).
+	CliffordOnly bool
+	// IncludeIdentity includes the identity gate in the pool (the thesis
+	// set does).
+	IncludeIdentity bool
+}
+
+// Pool returns the gate pool for a configuration.
+func Pool(cfg Config) []*gates.Gate {
+	pool := []*gates.Gate{
+		gates.X, gates.Y, gates.Z, gates.H, gates.S,
+		gates.CNOT, gates.CZ, gates.SWAP,
+	}
+	if cfg.IncludeIdentity {
+		pool = append(pool, gates.I)
+	}
+	if !cfg.CliffordOnly {
+		pool = append(pool, gates.T, gates.Tdg)
+	}
+	if cfg.Qubits < 2 {
+		var single []*gates.Gate
+		for _, g := range pool {
+			if g.Arity == 1 {
+				single = append(single, g)
+			}
+		}
+		pool = single
+	}
+	return pool
+}
+
+// Generate draws a random circuit, one gate per time slot.
+func Generate(cfg Config, rng *rand.Rand) *circuit.Circuit {
+	pool := Pool(cfg)
+	c := circuit.New()
+	for i := 0; i < cfg.Gates; i++ {
+		g := pool[rng.Intn(len(pool))]
+		switch g.Arity {
+		case 1:
+			c.Add(g, rng.Intn(cfg.Qubits))
+		case 2:
+			a := rng.Intn(cfg.Qubits)
+			b := (a + 1 + rng.Intn(cfg.Qubits-1)) % cfg.Qubits
+			c.Add(g, a, b)
+		}
+	}
+	return c
+}
+
+// GenerateWithMeasurements appends a final slot measuring every qubit.
+func GenerateWithMeasurements(cfg Config, rng *rand.Rand) *circuit.Circuit {
+	c := Generate(cfg, rng)
+	slot := c.AppendSlot()
+	for q := 0; q < cfg.Qubits; q++ {
+		c.AddToSlot(slot, gates.Measure, q)
+	}
+	return c
+}

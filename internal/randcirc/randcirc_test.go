@@ -1,0 +1,85 @@
+package randcirc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Qubits: 5, Gates: 200, IncludeIdentity: true}
+	c := Generate(cfg, rand.New(rand.NewSource(1)))
+	if c.NumOps() != 200 {
+		t.Fatalf("ops = %d", c.NumOps())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxQubit() >= 5 {
+		t.Errorf("qubit out of range: %d", c.MaxQubit())
+	}
+}
+
+func TestGenerateCliffordOnly(t *testing.T) {
+	cfg := Config{Qubits: 4, Gates: 300, CliffordOnly: true}
+	c := Generate(cfg, rand.New(rand.NewSource(2)))
+	if got := c.CountClass(gates.ClassNonClifford); got != 0 {
+		t.Errorf("clifford-only circuit has %d non-Clifford gates", got)
+	}
+}
+
+func TestGenerateUsesWholeGateSet(t *testing.T) {
+	cfg := Config{Qubits: 5, Gates: 3000, IncludeIdentity: true}
+	c := Generate(cfg, rand.New(rand.NewSource(3)))
+	seen := map[gates.Name]bool{}
+	for _, s := range c.Slots {
+		for _, op := range s.Ops {
+			seen[op.Gate.Name] = true
+		}
+	}
+	for _, g := range Pool(cfg) {
+		if !seen[g.Name] {
+			t.Errorf("gate %s never drawn in 3000 samples", g.Name)
+		}
+	}
+}
+
+func TestGenerateWithMeasurements(t *testing.T) {
+	cfg := Config{Qubits: 3, Gates: 10}
+	c := GenerateWithMeasurements(cfg, rand.New(rand.NewSource(4)))
+	if got := c.CountClass(gates.ClassMeasure); got != 3 {
+		t.Errorf("measurements = %d", got)
+	}
+	last := c.Slots[c.NumSlots()-1]
+	if len(last.Ops) != 3 {
+		t.Errorf("final slot has %d ops", len(last.Ops))
+	}
+}
+
+func TestSingleQubitConfig(t *testing.T) {
+	cfg := Config{Qubits: 1, Gates: 50}
+	c := Generate(cfg, rand.New(rand.NewSource(5)))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Slots {
+		for _, op := range s.Ops {
+			if op.Gate.Arity != 1 {
+				t.Fatalf("two-qubit gate on one-qubit register: %v", op)
+			}
+		}
+	}
+}
+
+func TestTwoQubitOperandsDistinct(t *testing.T) {
+	cfg := Config{Qubits: 2, Gates: 500, CliffordOnly: true}
+	c := Generate(cfg, rand.New(rand.NewSource(6)))
+	for _, s := range c.Slots {
+		for _, op := range s.Ops {
+			if op.Gate.Arity == 2 && op.Qubits[0] == op.Qubits[1] {
+				t.Fatalf("degenerate two-qubit gate: %v", op)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/pauli"
+)
+
+func TestExpectPauliBasics(t *testing.T) {
+	s := newState(2)
+	// ⟨00|Z0|00⟩ = 1, ⟨00|X0|00⟩ = 0.
+	if got := s.ExpectPauli(pauli.ZString(0)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("⟨Z0⟩ on |00⟩ = %v", got)
+	}
+	if got := s.ExpectPauli(pauli.XString(0)); math.Abs(got) > 1e-12 {
+		t.Errorf("⟨X0⟩ on |00⟩ = %v", got)
+	}
+	s.ApplyGate(gates.X, 0)
+	if got := s.ExpectPauli(pauli.ZString(0)); math.Abs(got+1) > 1e-12 {
+		t.Errorf("⟨Z0⟩ on |01⟩ = %v", got)
+	}
+	if got := s.ExpectPauli(pauli.ZString(0).Negated()); math.Abs(got-1) > 1e-12 {
+		t.Errorf("⟨-Z0⟩ on |01⟩ = %v", got)
+	}
+}
+
+func TestExpectPauliPlusAndY(t *testing.T) {
+	s := newState(1)
+	s.ApplyGate(gates.H, 0)
+	if got := s.ExpectPauli(pauli.XString(0)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("⟨X⟩ on |+⟩ = %v", got)
+	}
+	s.ApplyGate(gates.S, 0) // |+i⟩
+	y := pauli.NewPauliString(map[int]pauli.Pauli{0: pauli.Y})
+	if got := s.ExpectPauli(y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("⟨Y⟩ on |+i⟩ = %v", got)
+	}
+	if got := s.ExpectPauli(pauli.XString(0)); math.Abs(got) > 1e-12 {
+		t.Errorf("⟨X⟩ on |+i⟩ = %v", got)
+	}
+}
+
+func TestExpectPauliBellStabilizers(t *testing.T) {
+	s := newState(2)
+	s.ApplyGate(gates.H, 0)
+	s.ApplyGate(gates.CNOT, 0, 1)
+	for _, ps := range []pauli.PauliString{pauli.XString(0, 1), pauli.ZString(0, 1)} {
+		if got := s.ExpectPauli(ps); math.Abs(got-1) > 1e-12 {
+			t.Errorf("⟨%v⟩ on Bell = %v", ps, got)
+		}
+	}
+	yy := pauli.NewPauliString(map[int]pauli.Pauli{0: pauli.Y, 1: pauli.Y})
+	if got := s.ExpectPauli(yy); math.Abs(got+1) > 1e-12 {
+		t.Errorf("⟨YY⟩ on Bell = %v, want −1", got)
+	}
+	if got := s.ExpectPauli(pauli.ZString(0)); math.Abs(got) > 1e-12 {
+		t.Errorf("⟨Z0⟩ on Bell = %v, want 0", got)
+	}
+}
+
+func TestExpectPauliMatchesProbability(t *testing.T) {
+	// ⟨Z_q⟩ = 1 − 2·P(1) on arbitrary states.
+	rng := rand.New(rand.NewSource(9))
+	s := New(3, rng)
+	for i := 0; i < 12; i++ {
+		s.ApplyGate(gates.H, rng.Intn(3))
+		s.ApplyGate(gates.T, rng.Intn(3))
+		s.ApplyGate(gates.CNOT, 0, 1+rng.Intn(2))
+	}
+	for q := 0; q < 3; q++ {
+		want := 1 - 2*s.ProbOne(q)
+		if got := s.ExpectPauli(pauli.ZString(q)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("⟨Z%d⟩ = %v, want %v", q, got, want)
+		}
+	}
+}

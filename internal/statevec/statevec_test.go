@@ -1,0 +1,285 @@
+package statevec
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gates"
+)
+
+func newState(n int) *State { return New(n, rand.New(rand.NewSource(42))) }
+
+func TestInitialState(t *testing.T) {
+	s := newState(3)
+	if s.amp[0] != 1 {
+		t.Fatal("initial amplitude of |000> should be 1")
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Fatal("initial norm != 1")
+	}
+}
+
+func TestXFlipsBit(t *testing.T) {
+	s := newState(2)
+	s.ApplyGate(gates.X, 0)
+	if cmplx.Abs(s.amp[1]-1) > 1e-12 {
+		t.Fatalf("X q0 should give |01>: %v", s.Support(1e-9))
+	}
+	s.ApplyGate(gates.X, 1)
+	if cmplx.Abs(s.amp[3]-1) > 1e-12 {
+		t.Fatalf("X q1 should give |11>: %v", s.Support(1e-9))
+	}
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	s := newState(1)
+	s.ApplyGate(gates.H, 0)
+	w := complex(1/math.Sqrt2, 0)
+	if cmplx.Abs(s.amp[0]-w) > 1e-12 || cmplx.Abs(s.amp[1]-w) > 1e-12 {
+		t.Fatalf("H|0> wrong: %v", s.Amplitudes())
+	}
+	s.ApplyGate(gates.H, 0)
+	if cmplx.Abs(s.amp[0]-1) > 1e-12 {
+		t.Fatal("HH|0> != |0>")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := newState(2)
+	s.ApplyGate(gates.H, 0)
+	s.ApplyGate(gates.CNOT, 0, 1)
+	w := complex(1/math.Sqrt2, 0)
+	if cmplx.Abs(s.amp[0]-w) > 1e-12 || cmplx.Abs(s.amp[3]-w) > 1e-12 ||
+		cmplx.Abs(s.amp[1]) > 1e-12 || cmplx.Abs(s.amp[2]) > 1e-12 {
+		t.Fatalf("Bell state wrong: %v", s.Amplitudes())
+	}
+	// Measuring both qubits must agree.
+	for trial := 0; trial < 20; trial++ {
+		b := newState(2)
+		b.ApplyGate(gates.H, 0)
+		b.ApplyGate(gates.CNOT, 0, 1)
+		m0 := b.Measure(0)
+		m1 := b.Measure(1)
+		if m0 != m1 {
+			t.Fatalf("Bell measurement disagreement: %d vs %d", m0, m1)
+		}
+	}
+}
+
+func TestCNOTDirection(t *testing.T) {
+	// Control is the first operand: X on control flips target, not vice versa.
+	s := newState(2)
+	s.ApplyGate(gates.X, 0) // control q0 = 1
+	s.ApplyGate(gates.CNOT, 0, 1)
+	if cmplx.Abs(s.amp[3]-1) > 1e-12 {
+		t.Fatalf("CNOT with control=1 should flip target: %v", s.Support(1e-9))
+	}
+	s2 := newState(2)
+	s2.ApplyGate(gates.X, 1) // target q1 = 1, control 0
+	s2.ApplyGate(gates.CNOT, 0, 1)
+	if cmplx.Abs(s2.amp[2]-1) > 1e-12 {
+		t.Fatalf("CNOT with control=0 should not act: %v", s2.Support(1e-9))
+	}
+}
+
+func TestCZPhase(t *testing.T) {
+	s := newState(2)
+	s.ApplyGate(gates.X, 0)
+	s.ApplyGate(gates.X, 1)
+	s.ApplyGate(gates.CZ, 0, 1)
+	if cmplx.Abs(s.amp[3]+1) > 1e-12 {
+		t.Fatalf("CZ|11> should be -|11>: %v", s.Amplitudes())
+	}
+}
+
+func TestSWAP(t *testing.T) {
+	s := newState(2)
+	s.ApplyGate(gates.X, 0)
+	s.ApplyGate(gates.SWAP, 0, 1)
+	if cmplx.Abs(s.amp[2]-1) > 1e-12 {
+		t.Fatalf("SWAP failed: %v", s.Support(1e-9))
+	}
+}
+
+func TestToffoli(t *testing.T) {
+	// Only |11x> flips the target.
+	for c1 := 0; c1 < 2; c1++ {
+		for c2 := 0; c2 < 2; c2++ {
+			s := newState(3)
+			if c1 == 1 {
+				s.ApplyGate(gates.X, 0)
+			}
+			if c2 == 1 {
+				s.ApplyGate(gates.X, 1)
+			}
+			s.ApplyGate(gates.Toffoli, 0, 1, 2)
+			wantTarget := 0
+			if c1 == 1 && c2 == 1 {
+				wantTarget = 1
+			}
+			want := uint(c1) | uint(c2)<<1 | uint(wantTarget)<<2
+			sup := s.Support(1e-9)
+			if len(sup) != 1 || sup[0].Basis != want {
+				t.Fatalf("Toffoli(%d,%d): support %v, want basis %d", c1, c2, sup, want)
+			}
+		}
+	}
+}
+
+func TestMeasurementStatistics(t *testing.T) {
+	ones := 0
+	const n = 4000
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		s := New(1, rng)
+		s.ApplyGate(gates.H, 0)
+		ones += s.Measure(0)
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("H|0> measurement bias: %f", frac)
+	}
+}
+
+func TestMeasureCollapses(t *testing.T) {
+	s := newState(1)
+	s.ApplyGate(gates.H, 0)
+	m := s.Measure(0)
+	if got := s.Measure(0); got != m {
+		t.Fatal("repeated measurement changed outcome")
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Fatal("collapsed state not normalized")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := newState(2)
+	s.ApplyGate(gates.X, 1)
+	s.ApplyGate(gates.H, 0)
+	s.Reset(0)
+	s.Reset(1)
+	if cmplx.Abs(s.amp[0]-1) > 1e-12 {
+		t.Fatalf("reset failed: %v", s.Support(1e-9))
+	}
+}
+
+func TestEqualUpToGlobalPhase(t *testing.T) {
+	a := newState(2)
+	a.ApplyGate(gates.H, 0)
+	a.ApplyGate(gates.CNOT, 0, 1)
+	b := a.Clone()
+	// Multiply b by a global phase e^{iπ/3}.
+	phase := cmplx.Exp(complex(0, math.Pi/3))
+	for i := range b.amp {
+		b.amp[i] *= phase
+	}
+	ok, got := EqualUpToGlobalPhase(a, b, 1e-9)
+	if !ok {
+		t.Fatal("states should be equal up to phase")
+	}
+	if cmplx.Abs(got-cmplx.Conj(phase)) > 1e-9 {
+		t.Fatalf("recovered phase %v", got)
+	}
+	// A genuinely different state must not compare equal.
+	c := newState(2)
+	c.ApplyGate(gates.H, 0)
+	if ok, _ := EqualUpToGlobalPhase(a, c, 1e-9); ok {
+		t.Fatal("different states compared equal")
+	}
+}
+
+func TestSupportString(t *testing.T) {
+	s := newState(3)
+	s.ApplyGate(gates.X, 1)
+	got := s.SupportString(1e-9)
+	if !strings.Contains(got, "|010>") {
+		t.Fatalf("SupportString = %q", got)
+	}
+	if !strings.HasPrefix(got, "(1+0j)") {
+		t.Fatalf("amplitude rendering: %q", got)
+	}
+}
+
+func TestExtractSubsystem(t *testing.T) {
+	// Entangle qubits 0 and 2, set qubit 1 to |1⟩; extracting {0,2} works.
+	s := newState(3)
+	s.ApplyGate(gates.H, 0)
+	s.ApplyGate(gates.CNOT, 0, 2)
+	s.ApplyGate(gates.X, 1)
+	sub, err := s.ExtractSubsystem([]int{0, 2})
+	if err != nil {
+		t.Fatalf("ExtractSubsystem: %v", err)
+	}
+	w := complex(1/math.Sqrt2, 0)
+	if cmplx.Abs(sub.amp[0]-w) > 1e-12 || cmplx.Abs(sub.amp[3]-w) > 1e-12 {
+		t.Fatalf("subsystem wrong: %v", sub.Amplitudes())
+	}
+	// Extracting {0,1} must fail: qubit 2 is entangled with qubit 0.
+	if _, err := s.ExtractSubsystem([]int{0, 1}); err == nil {
+		t.Fatal("expected entanglement error")
+	}
+}
+
+func TestApplyMatrixValidation(t *testing.T) {
+	s := newState(2)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("repeated qubit", func() { s.ApplyGate(gates.CNOT, 0, 0) })
+	mustPanic("bad matrix size", func() { s.ApplyMatrix([]complex128{1, 0, 0, 1}, 0, 1) })
+	mustPanic("qubit out of range", func() { s.ApplyGate(gates.X, 5) })
+	mustPanic("arity mismatch", func() { s.ApplyGate(gates.CNOT, 0) })
+}
+
+// Property: any sequence of Clifford+T gates preserves the norm.
+func TestGatesPreserveNormProperty(t *testing.T) {
+	pool := []*gates.Gate{gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.T, gates.CNOT, gates.CZ, gates.SWAP}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(4, rng)
+		for i := 0; i < 30; i++ {
+			g := pool[rng.Intn(len(pool))]
+			q1 := rng.Intn(4)
+			if g.Arity == 1 {
+				s.ApplyGate(g, q1)
+			} else {
+				q2 := (q1 + 1 + rng.Intn(3)) % 4
+				s.ApplyGate(g, q1, q2)
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: H on random states is self-inverse.
+func TestHSelfInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(3, rng)
+		for i := 0; i < 10; i++ {
+			s.ApplyGate(gates.T, rng.Intn(3))
+			s.ApplyGate(gates.H, rng.Intn(3))
+		}
+		before := s.Clone()
+		s.ApplyGate(gates.H, 1)
+		s.ApplyGate(gates.H, 1)
+		ok, _ := EqualUpToGlobalPhase(before, s, 1e-9)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package stats implements the statistical toolkit used by the thesis
+// evaluation (§5.3.2): descriptive statistics (mean, standard deviation,
+// coefficient of variation), Student's t-tests in both the independent
+// (pooled two-sample) and paired forms with two-sided p-values, and the
+// pseudo-threshold crossing estimate. The t-distribution CDF is computed
+// through the regularized incomplete beta function.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation σ/μ (thesis Eq. 5.4).
+func CV(xs []float64) float64 { return StdDev(xs) / Mean(xs) }
+
+// lgamma drops the sign returned by math.Lgamma.
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// by the continued-fraction expansion (Numerical Recipes 6.4).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// TCDF returns P(T ≤ t) for Student's t-distribution with df degrees of
+// freedom.
+func TCDF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TwoSidedP converts a t statistic into a two-sided p-value.
+func TwoSidedP(t, df float64) float64 {
+	p := 2 * TCDF(-math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// TTestResult carries a test statistic and its p-value.
+type TTestResult struct {
+	T  float64
+	DF float64
+	P  float64
+}
+
+// ErrTooFewSamples is returned when a test needs more data.
+var ErrTooFewSamples = errors.New("stats: too few samples")
+
+// TTestIndependent performs the pooled-variance two-sample t-test (the
+// thesis' "independent t-test").
+func TTestIndependent(a, b []float64) (TTestResult, error) {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrTooFewSamples
+	}
+	v1, v2 := Variance(a), Variance(b)
+	df := n1 + n2 - 2
+	sp := math.Sqrt(((n1-1)*v1 + (n2-1)*v2) / df)
+	denom := sp * math.Sqrt(1/n1+1/n2)
+	if denom == 0 {
+		// Identical constant samples: no evidence of difference.
+		return TTestResult{T: 0, DF: df, P: 1}, nil
+	}
+	t := (Mean(a) - Mean(b)) / denom
+	return TTestResult{T: t, DF: df, P: TwoSidedP(t, df)}, nil
+}
+
+// TTestWelch performs Welch's unequal-variance two-sample t-test with
+// the Welch–Satterthwaite degrees of freedom; preferable to the pooled
+// test when the two configurations have different run-length variances.
+func TTestWelch(a, b []float64) (TTestResult, error) {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrTooFewSamples
+	}
+	v1, v2 := Variance(a), Variance(b)
+	se2 := v1/n1 + v2/n2
+	if se2 == 0 {
+		return TTestResult{T: 0, DF: n1 + n2 - 2, P: 1}, nil
+	}
+	t := (Mean(a) - Mean(b)) / math.Sqrt(se2)
+	df := se2 * se2 / ((v1*v1)/(n1*n1*(n1-1)) + (v2*v2)/(n2*n2*(n2-1)))
+	return TTestResult{T: t, DF: df, P: TwoSidedP(t, df)}, nil
+}
+
+// TTestPaired performs the paired t-test on matched samples.
+func TTestPaired(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, errors.New("stats: paired samples must have equal length")
+	}
+	if len(a) < 2 {
+		return TTestResult{}, ErrTooFewSamples
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	sd := StdDev(d)
+	df := float64(len(a) - 1)
+	if sd == 0 {
+		return TTestResult{T: 0, DF: df, P: 1}, nil
+	}
+	t := Mean(d) / (sd / math.Sqrt(float64(len(a))))
+	return TTestResult{T: t, DF: df, P: TwoSidedP(t, df)}, nil
+}
+
+// PseudoThreshold estimates the x where the piecewise-linear
+// interpolation of (x, y) crosses the line y = x (thesis §2.5.1). The xs
+// must be ascending. Returns NaN when no crossing exists.
+func PseudoThreshold(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	for i := 1; i < len(xs); i++ {
+		d0 := ys[i-1] - xs[i-1]
+		d1 := ys[i] - xs[i]
+		if d0 == 0 {
+			return xs[i-1]
+		}
+		if d0*d1 < 0 {
+			// Linear interpolation of the difference to zero.
+			t := d0 / (d0 - d1)
+			return xs[i-1] + t*(xs[i]-xs[i-1])
+		}
+	}
+	if ys[len(ys)-1] == xs[len(xs)-1] {
+		return xs[len(xs)-1]
+	}
+	return math.NaN()
+}
+
+// Histogram counts occurrences of each value.
+func Histogram(values []int) map[int]int {
+	h := map[int]int{}
+	for _, v := range values {
+		h[v]++
+	}
+	return h
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation of
+// the sorted sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

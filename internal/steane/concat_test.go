@@ -1,0 +1,120 @@
+package steane
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+// TestConcatenatedSteane stacks a Steane layer on top of another Steane
+// layer (thesis §4.2.3: "It is for example possible to concatenate QEC
+// layers"). The upper layer's "physical" operations — Prep, H, CNOT,
+// Measure and Pauli corrections — are exactly the transversal logical
+// operations of the lower layer, so a [[7,1,3]]² concatenated code of
+// 7×13 = 91 physical qubits per logical qubit runs unchanged.
+func TestConcatenatedSteane(t *testing.T) {
+	ch := layers.NewChpCore(rand.New(rand.NewSource(1)))
+	inner := NewLayer(ch)
+	outer := NewLayer(inner)
+	if err := outer.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := qpdo.Run(outer, circuit.New().Add(gates.Prep, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 0 {
+		t.Errorf("concatenated |0⟩_L measured %d", res.Last(0))
+	}
+	res, err = qpdo.Run(outer, circuit.New().Add(gates.Prep, 0).Add(gates.X, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 1 {
+		t.Errorf("concatenated X_L|0⟩_L measured %d", res.Last(0))
+	}
+	// H Z H = X at the doubly-encoded level.
+	res, err = qpdo.Run(outer, circuit.New().
+		Add(gates.Prep, 0).Add(gates.H, 0).Add(gates.Z, 0).Add(gates.H, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 1 {
+		t.Errorf("concatenated H Z H |0⟩_L measured %d", res.Last(0))
+	}
+}
+
+// TestNinjaStarOverSteane runs the SC17 layer on top of a Steane layer:
+// 17 Steane-encoded qubits (221 physical) carry one surface-code logical
+// qubit. Every SC17 primitive (transversal reset, the 8-slot ESM with
+// its CNOT schedule, chain Paulis, transversal measurement) maps to
+// fault-tolerant Steane logical operations.
+func TestNinjaStarOverSteane(t *testing.T) {
+	ch := layers.NewChpCore(rand.New(rand.NewSource(2)))
+	inner := NewLayer(ch)
+	star := surface.NewNinjaStarLayer(inner, surface.Config{Ancilla: surface.AncillaDedicated})
+	if err := star.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := qpdo.Run(star, circuit.New().Add(gates.Prep, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 0 {
+		t.Errorf("SC17-over-Steane |0⟩_L measured %d", res.Last(0))
+	}
+	res, err = qpdo.Run(star, circuit.New().Add(gates.Prep, 0).Add(gates.X, 0).Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 1 {
+		t.Errorf("SC17-over-Steane |1⟩_L measured %d", res.Last(0))
+	}
+}
+
+// TestPauliFrameUnderSteane inserts a Pauli frame layer between the
+// Steane layer and the simulator: the QEC corrections are absorbed by
+// the frame and the logical results are unchanged.
+func TestPauliFrameUnderSteane(t *testing.T) {
+	ch := layers.NewChpCore(rand.New(rand.NewSource(3)))
+	pf := layers.NewPauliFrameLayer(ch)
+	l := NewLayer(pf)
+	if err := l.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpdo.Run(l, circuit.New().Add(gates.Prep, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Inject an error, run windows; corrections land in the frame.
+	data, _ := l.Block(0)
+	ch.Tableau().X(data[2])
+	if _, err := l.RunWindow(0); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for w := 0; w < 3; w++ {
+		n, err := l.RunWindow(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no corrections issued")
+	}
+	if pf.PFU.Stats.PauliAbsorbed == 0 {
+		t.Error("corrections were not absorbed by the frame")
+	}
+	res, err := qpdo.Run(l, circuit.New().Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 0 {
+		t.Errorf("logical state corrupted despite frame-tracked correction: %d", res.Last(0))
+	}
+}

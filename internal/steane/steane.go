@@ -1,0 +1,413 @@
+// Package steane implements the Steane [[7,1,3]] code as a second QEC
+// layer for the QPDO platform (the thesis' SteaneLayer, §4.2.3). The
+// Steane code is the CSS code built from the [7,4,3] Hamming code on both
+// bases: three X-type and three Z-type stabilizers share the Hamming
+// parity-check supports, the logical X/Z/H/CNOT operations are fully
+// transversal, and error syndromes decode by the Hamming rule — the
+// three syndrome bits literally spell the binary position of the faulty
+// qubit.
+package steane
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// Code dimensions.
+const (
+	NumData    = 7
+	NumAncilla = 6
+	NumQubits  = NumData + NumAncilla
+)
+
+// Supports lists the three Hamming parity checks over data qubits 0..6
+// (Hamming positions 1..7): check i covers the positions whose binary
+// representation has bit i set.
+var Supports = [3][]int{
+	{0, 2, 4, 6}, // positions 1,3,5,7
+	{1, 2, 5, 6}, // positions 2,3,6,7
+	{3, 4, 5, 6}, // positions 4,5,6,7
+}
+
+// DecodeSyndrome maps a 3-bit Hamming syndrome to the faulty data qubit,
+// or -1 for the trivial syndrome. The Steane code is perfect: every
+// non-trivial syndrome names exactly one qubit (position syndrome−1).
+func DecodeSyndrome(s int) int {
+	if s == 0 {
+		return -1
+	}
+	return s - 1
+}
+
+// SyndromeOf computes the 3-bit syndrome a set of single-type errors
+// produces.
+func SyndromeOf(errs []int) int {
+	s := 0
+	for i, sup := range Supports {
+		parity := 0
+		for _, q := range sup {
+			for _, e := range errs {
+				if e == q {
+					parity ^= 1
+				}
+			}
+		}
+		s |= parity << uint(i)
+	}
+	return s
+}
+
+// Layer is the Steane-code QEC layer: logical circuits in, physical
+// circuits with integrated QEC out. One logical qubit claims 7 data
+// qubits plus 6 ancillas (one per stabilizer).
+type Layer struct {
+	qpdo.Forwarder
+	blocks []*block
+	queue  []*circuit.Circuit
+}
+
+type block struct {
+	data  [NumData]int
+	anc   [NumAncilla]int // 0..2 X checks, 3..5 Z checks
+	state qpdo.BinaryState
+	// prevX / prevZ carry the previous round's syndromes for the
+	// two-round agreement rule.
+	prevX, prevZ int
+	prevValid    bool
+}
+
+// NewLayer stacks a Steane layer above next.
+func NewLayer(next qpdo.Core) *Layer {
+	return &Layer{Forwarder: qpdo.Forwarder{Next: next}}
+}
+
+// CreateQubits allocates n logical qubits of 13 physical qubits each.
+func (l *Layer) CreateQubits(n int) error {
+	for i := 0; i < n; i++ {
+		base := l.Next.NumQubits()
+		if err := l.Next.CreateQubits(NumQubits); err != nil {
+			return err
+		}
+		b := &block{state: qpdo.StateUnknown}
+		for d := 0; d < NumData; d++ {
+			b.data[d] = base + d
+		}
+		for a := 0; a < NumAncilla; a++ {
+			b.anc[a] = base + NumData + a
+		}
+		l.blocks = append(l.blocks, b)
+	}
+	return nil
+}
+
+// RemoveQubits is unsupported for encoded qubits.
+func (l *Layer) RemoveQubits(int) error {
+	return fmt.Errorf("steane: logical qubit removal is not supported")
+}
+
+// NumQubits returns the logical qubit count.
+func (l *Layer) NumQubits() int { return len(l.blocks) }
+
+// Add queues a logical circuit.
+func (l *Layer) Add(c *circuit.Circuit) error {
+	if err := qpdo.Validate(c, len(l.blocks)); err != nil {
+		return err
+	}
+	for _, slot := range c.Slots {
+		for _, op := range slot.Ops {
+			switch op.Gate.Name {
+			case gates.PrepZ, gates.MeasZ, gates.GateI, gates.GateX, gates.GateY,
+				gates.GateZ, gates.GateH, gates.GateCNOT:
+			default:
+				return fmt.Errorf("steane: logical gate %s is not transversal on the Steane code", op.Gate)
+			}
+		}
+	}
+	l.queue = append(l.queue, c)
+	return nil
+}
+
+// Execute runs the queued logical circuits.
+func (l *Layer) Execute() (*qpdo.Result, error) {
+	res := &qpdo.Result{}
+	for _, c := range l.queue {
+		for _, slot := range c.Slots {
+			for _, op := range slot.Ops {
+				if err := l.execOp(op, res); err != nil {
+					l.queue = l.queue[:0]
+					return nil, err
+				}
+			}
+		}
+	}
+	l.queue = l.queue[:0]
+	return res, nil
+}
+
+func (l *Layer) execOp(op circuit.Operation, res *qpdo.Result) error {
+	b := l.blocks[op.Qubits[0]]
+	switch op.Gate.Name {
+	case gates.GateI:
+		return nil
+	case gates.PrepZ:
+		return l.reset(b)
+	case gates.MeasZ:
+		out, err := l.measure(b)
+		if err != nil {
+			return err
+		}
+		res.Measurements = append(res.Measurements,
+			qpdo.Measurement{Qubit: op.Qubits[0], Value: out})
+		return nil
+	case gates.GateX, gates.GateY, gates.GateZ, gates.GateH:
+		// All single-qubit logical Paulis and H are transversal.
+		c := circuit.New()
+		slot := c.AppendSlot()
+		for _, q := range b.data {
+			c.AddToSlot(slot, op.Gate, q)
+		}
+		switch op.Gate.Name {
+		case gates.GateX, gates.GateY:
+			switch b.state {
+			case qpdo.StateZero:
+				b.state = qpdo.StateOne
+			case qpdo.StateOne:
+				b.state = qpdo.StateZero
+			}
+		case gates.GateH:
+			b.state = qpdo.StateUnknown
+		}
+		return l.runLower(c)
+	case gates.GateCNOT:
+		a, t := l.blocks[op.Qubits[0]], l.blocks[op.Qubits[1]]
+		c := circuit.New()
+		slot := c.AppendSlot()
+		for i := 0; i < NumData; i++ {
+			c.AddToSlot(slot, gates.CNOT, a.data[i], t.data[i])
+		}
+		switch {
+		case a.state == qpdo.StateUnknown:
+			t.state = qpdo.StateUnknown
+		case a.state == qpdo.StateOne:
+			switch t.state {
+			case qpdo.StateZero:
+				t.state = qpdo.StateOne
+			case qpdo.StateOne:
+				t.state = qpdo.StateZero
+			}
+		}
+		return l.runLower(c)
+	}
+	return fmt.Errorf("steane: unsupported logical operation %s", op.Gate)
+}
+
+func (l *Layer) runLower(c *circuit.Circuit) error {
+	if err := l.Next.Add(c); err != nil {
+		return err
+	}
+	_, err := l.Next.Execute()
+	return err
+}
+
+// esmCircuit builds one full syndrome-measurement round: the three X
+// checks (H-sandwiched ancilla controlling CNOTs onto its support) and
+// the three Z checks (support data controlling CNOTs onto the ancilla),
+// scheduled in parallel where the supports allow.
+func (b *block) esmCircuit() *circuit.Circuit {
+	c := circuit.New()
+	// Reset + H slot.
+	slot := c.AppendSlot()
+	for a := 0; a < NumAncilla; a++ {
+		c.AddToSlot(slot, gates.Prep, b.anc[a])
+	}
+	slot = c.AppendSlot()
+	for a := 0; a < 3; a++ {
+		c.AddToSlot(slot, gates.H, b.anc[a])
+	}
+	// CNOT steps: X checks first (each ancilla touches 4 data qubits
+	// sequentially; the three checks overlap on data, so serialize by
+	// check), then Z checks.
+	for a := 0; a < 3; a++ {
+		for _, d := range Supports[a] {
+			c.Add(gates.CNOT, b.anc[a], b.data[d])
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for _, d := range Supports[a] {
+			c.Add(gates.CNOT, b.data[d], b.anc[3+a])
+		}
+	}
+	slot = c.AppendSlot()
+	for a := 0; a < 3; a++ {
+		c.AddToSlot(slot, gates.H, b.anc[a])
+	}
+	slot = c.AppendSlot()
+	for a := 0; a < NumAncilla; a++ {
+		c.AddToSlot(slot, gates.Measure, b.anc[a])
+	}
+	return c
+}
+
+// runESM executes one round and returns the X-check and Z-check
+// syndromes.
+func (l *Layer) runESM(b *block) (sx, sz int, err error) {
+	if err := l.Next.Add(b.esmCircuit()); err != nil {
+		return 0, 0, err
+	}
+	res, err := l.Next.Execute()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.Measurements) < NumAncilla {
+		return 0, 0, fmt.Errorf("steane: ESM returned %d measurements", len(res.Measurements))
+	}
+	ms := res.Measurements[len(res.Measurements)-NumAncilla:]
+	for i := 0; i < 3; i++ {
+		sx |= ms[i].Value << uint(i)
+		sz |= ms[3+i].Value << uint(i)
+	}
+	return sx, sz, nil
+}
+
+// RunWindow executes one QEC window: one ESM round compared against the
+// previous round (two-round agreement), Hamming decode, corrections.
+func (l *Layer) RunWindow(i int) (corrections int, err error) {
+	b := l.blocks[i]
+	sx, sz, err := l.runESM(b)
+	if err != nil {
+		return 0, err
+	}
+	if !b.prevValid {
+		b.prevX, b.prevZ, b.prevValid = sx, sz, true
+		return 0, nil
+	}
+	c := circuit.New()
+	var slot = -1
+	apply := func(g *gates.Gate, d int) {
+		if slot < 0 {
+			slot = c.AppendSlot()
+		}
+		c.AddToSlot(slot, g, b.data[d])
+	}
+	// X-check syndrome (detects Z errors) decoded when stable.
+	if sx != 0 && sx == b.prevX {
+		if d := DecodeSyndrome(sx); d >= 0 {
+			apply(gates.Z, d)
+			sx = 0
+		}
+	}
+	if sz != 0 && sz == b.prevZ {
+		if d := DecodeSyndrome(sz); d >= 0 {
+			// Same qubit needing both becomes Y; distinct qubits are
+			// separate gates (always distinct slots entries).
+			if slot >= 0 {
+				for j, op := range c.Slots[slot].Ops {
+					if op.Qubits[0] == b.data[d] {
+						c.Slots[slot].Ops[j] = circuit.NewOp(gates.Y, b.data[d])
+						sz = 0
+					}
+				}
+			}
+			if sz != 0 {
+				apply(gates.X, d)
+				sz = 0
+			}
+		}
+	}
+	b.prevX, b.prevZ = sx, sz
+	n := c.NumOps()
+	if n > 0 {
+		if err := l.runLower(c); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// reset initializes a block to |0⟩_L: transversal reset, then project
+// the X stabilizers with one ESM round and fix the random signs with
+// Z chains that anti-commute with exactly the flagged stabilizer.
+func (l *Layer) reset(b *block) error {
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for _, q := range b.data {
+		c.AddToSlot(slot, gates.Prep, q)
+	}
+	if err := l.runLower(c); err != nil {
+		return err
+	}
+	sx, _, err := l.runESM(b)
+	if err != nil {
+		return err
+	}
+	if sx != 0 {
+		// A Z on a qubit covered by exactly the flagged checks flips
+		// exactly those signs: qubit with Hamming position = sx.
+		fix := circuit.New().Add(gates.Z, b.data[sx-1])
+		if err := l.runLower(fix); err != nil {
+			return err
+		}
+	}
+	b.state = qpdo.StateZero
+	b.prevValid = false
+	return nil
+}
+
+// measure performs the transversal logical measurement: parity of the
+// seven data-qubit outcomes.
+func (l *Layer) measure(b *block) (int, error) {
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for _, q := range b.data {
+		c.AddToSlot(slot, gates.Measure, q)
+	}
+	if err := l.Next.Add(c); err != nil {
+		return 0, err
+	}
+	res, err := l.Next.Execute()
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Measurements) < NumData {
+		return 0, fmt.Errorf("steane: measurement returned %d results", len(res.Measurements))
+	}
+	ms := res.Measurements[len(res.Measurements)-NumData:]
+	vals := make([]int, NumData)
+	out := 0
+	for i, m := range ms {
+		vals[i] = m.Value
+		out ^= m.Value
+	}
+	// Classical Hamming correction of the readout string: the Z-check
+	// parities computed from the outcomes flag a single flipped bit.
+	s := 0
+	for i, sup := range Supports {
+		parity := 0
+		for _, d := range sup {
+			parity ^= vals[d]
+		}
+		s |= parity << uint(i)
+	}
+	if DecodeSyndrome(s) >= 0 {
+		out ^= 1
+	}
+	b.state = qpdo.BinaryState(out)
+	return out, nil
+}
+
+// GetState reports the classically known logical values.
+func (l *Layer) GetState() (*qpdo.State, error) {
+	st := &qpdo.State{Values: make([]qpdo.BinaryState, len(l.blocks))}
+	for i, b := range l.blocks {
+		st.Values[i] = b.state
+	}
+	return st, nil
+}
+
+// Block exposes physical placement for white-box tests.
+func (l *Layer) Block(i int) (data [NumData]int, anc [NumAncilla]int) {
+	return l.blocks[i].data, l.blocks[i].anc
+}

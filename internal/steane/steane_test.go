@@ -1,0 +1,267 @@
+package steane
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/pauli"
+	"repro/internal/qpdo"
+)
+
+func TestHammingDecode(t *testing.T) {
+	if DecodeSyndrome(0) != -1 {
+		t.Error("trivial syndrome should decode to -1")
+	}
+	// Every single error decodes back to itself.
+	for q := 0; q < NumData; q++ {
+		s := SyndromeOf([]int{q})
+		if s != q+1 {
+			t.Errorf("syndrome of qubit %d = %d, want %d (Hamming position)", q, s, q+1)
+		}
+		if got := DecodeSyndrome(s); got != q {
+			t.Errorf("decode(%d) = %d, want %d", s, got, q)
+		}
+	}
+}
+
+func TestSupportsAreHamming(t *testing.T) {
+	// Position p ∈ support i ⇔ bit i of (p+1) set.
+	for i, sup := range Supports {
+		seen := map[int]bool{}
+		for _, q := range sup {
+			seen[q] = true
+		}
+		for q := 0; q < NumData; q++ {
+			want := (q+1)&(1<<uint(i)) != 0
+			if seen[q] != want {
+				t.Errorf("support %d membership of qubit %d = %v, want %v", i, q, seen[q], want)
+			}
+		}
+	}
+	// X and Z stabilizers on the same supports must commute (even overlaps).
+	for i := range Supports {
+		for j := range Supports {
+			x := pauli.XString(Supports[i]...)
+			z := pauli.ZString(Supports[j]...)
+			if !x.Commutes(z) {
+				t.Errorf("stabilizers %d/%d anti-commute", i, j)
+			}
+		}
+	}
+}
+
+func newStack(t *testing.T, n int, seed int64) (*Layer, *layers.ChpCore) {
+	t.Helper()
+	ch := layers.NewChpCore(rand.New(rand.NewSource(seed)))
+	l := NewLayer(ch)
+	if err := l.CreateQubits(n); err != nil {
+		t.Fatal(err)
+	}
+	return l, ch
+}
+
+func TestInitZeroStabilizers(t *testing.T) {
+	l, ch := newStack(t, 1, 1)
+	if _, err := qpdo.Run(l, circuit.New().Add(gates.Prep, 0)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := l.Block(0)
+	for _, sup := range Supports {
+		phys := make([]int, len(sup))
+		for i, d := range sup {
+			phys[i] = data[d]
+		}
+		for _, ps := range []pauli.PauliString{pauli.XString(phys...), pauli.ZString(phys...)} {
+			v, det := ch.Tableau().ExpectPauli(ps)
+			if !det || v != 1 {
+				t.Errorf("stabilizer %v not satisfied: v=%d det=%v", ps, v, det)
+			}
+		}
+	}
+	// Logical Z (transversal Z⊗7) stabilizes |0⟩_L.
+	all := make([]int, NumData)
+	for i := range all {
+		all[i] = data[i]
+	}
+	v, det := ch.Tableau().ExpectPauli(pauli.ZString(all...))
+	if !det || v != 1 {
+		t.Errorf("Z_L on |0⟩_L: v=%d det=%v", v, det)
+	}
+}
+
+func TestLogicalOperationsTruthTables(t *testing.T) {
+	// X_L flips measurement; H_L Z_L H_L = X_L; CNOT_L truth table.
+	l, _ := newStack(t, 2, 2)
+	run := func(c *circuit.Circuit) *qpdo.Result {
+		t.Helper()
+		res, err := qpdo.Run(l, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(circuit.New().Add(gates.Prep, 0).Add(gates.Measure, 0))
+	if res.Last(0) != 0 {
+		t.Errorf("|0⟩_L measured %d", res.Last(0))
+	}
+	res = run(circuit.New().Add(gates.Prep, 0).Add(gates.X, 0).Add(gates.Measure, 0))
+	if res.Last(0) != 1 {
+		t.Errorf("X_L|0⟩_L measured %d", res.Last(0))
+	}
+	res = run(circuit.New().Add(gates.Prep, 0).Add(gates.H, 0).Add(gates.Z, 0).Add(gates.H, 0).Add(gates.Measure, 0))
+	if res.Last(0) != 1 {
+		t.Errorf("H Z H |0⟩_L measured %d, want 1", res.Last(0))
+	}
+	for _, cse := range []struct{ c, tq, wc, wt int }{
+		{0, 0, 0, 0}, {1, 0, 1, 1}, {0, 1, 0, 1}, {1, 1, 1, 0},
+	} {
+		prep := circuit.New().Add(gates.Prep, 0).Add(gates.Prep, 1)
+		if cse.c == 1 {
+			prep.Add(gates.X, 0)
+		}
+		if cse.tq == 1 {
+			prep.Add(gates.X, 1)
+		}
+		prep.Add(gates.CNOT, 0, 1).Add(gates.Measure, 0).Add(gates.Measure, 1)
+		res := run(prep)
+		if res.Last(0) != cse.wc || res.Last(1) != cse.wt {
+			t.Errorf("CNOT_L |%d%d⟩ → |%d%d⟩, want |%d%d⟩",
+				cse.c, cse.tq, res.Last(0), res.Last(1), cse.wc, cse.wt)
+		}
+	}
+}
+
+func TestBellCorrelations(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		l, _ := newStack(t, 2, int64(10+i))
+		c := circuit.New().Add(gates.Prep, 0).Add(gates.Prep, 1).
+			Add(gates.H, 0).Add(gates.CNOT, 0, 1).
+			Add(gates.Measure, 0).Add(gates.Measure, 1)
+		res, err := qpdo.Run(l, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Last(0) != res.Last(1) {
+			t.Fatalf("logical Bell disagreement: %d vs %d", res.Last(0), res.Last(1))
+		}
+	}
+}
+
+func TestWindowCorrectsSingleErrors(t *testing.T) {
+	for d := 0; d < NumData; d++ {
+		for _, kind := range []string{"X", "Z", "Y"} {
+			l, ch := newStack(t, 1, int64(100+d))
+			if _, err := qpdo.Run(l, circuit.New().Add(gates.Prep, 0)); err != nil {
+				t.Fatal(err)
+			}
+			// Warm-up round establishes the previous-round baseline.
+			if _, err := l.RunWindow(0); err != nil {
+				t.Fatal(err)
+			}
+			data, _ := l.Block(0)
+			switch kind {
+			case "X":
+				ch.Tableau().X(data[d])
+			case "Z":
+				ch.Tableau().Z(data[d])
+			case "Y":
+				ch.Tableau().Y(data[d])
+			}
+			total := 0
+			for w := 0; w < 3; w++ {
+				n, err := l.RunWindow(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += n
+			}
+			if total == 0 {
+				t.Errorf("%s error on D%d never corrected", kind, d)
+			}
+			// Logical Z preserved.
+			all := make([]int, NumData)
+			for i := range all {
+				all[i] = data[i]
+			}
+			v, det := ch.Tableau().ExpectPauli(pauli.ZString(all...))
+			if !det || v != 1 {
+				t.Errorf("%s on D%d: logical damaged (v=%d det=%v)", kind, d, v, det)
+			}
+		}
+	}
+}
+
+func TestMeasurementReadoutCorrection(t *testing.T) {
+	// A single X error right before transversal measurement flips one
+	// readout bit; the classical Hamming correction must fix the parity.
+	l, ch := newStack(t, 1, 200)
+	if _, err := qpdo.Run(l, circuit.New().Add(gates.Prep, 0)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := l.Block(0)
+	ch.Tableau().X(data[3])
+	res, err := qpdo.Run(l, circuit.New().Add(gates.Measure, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last(0) != 0 {
+		t.Errorf("single pre-measurement X flipped the logical result: %d", res.Last(0))
+	}
+}
+
+func TestRejectsNonTransversal(t *testing.T) {
+	l, _ := newStack(t, 1, 300)
+	if err := l.Add(circuit.New().Add(gates.T, 0)); err == nil {
+		t.Error("logical T should be rejected")
+	}
+	if err := l.Add(circuit.New().Add(gates.CZ, 0, 0)); err == nil {
+		t.Error("CZ with repeated operand should be rejected")
+	}
+	if err := l.RemoveQubits(1); err == nil {
+		t.Error("removal should be rejected")
+	}
+}
+
+// TestSteaneUnderNoise runs windows under depolarizing noise and checks
+// the logical qubit survives far longer than a bare qubit would.
+func TestSteaneUnderNoise(t *testing.T) {
+	flips := 0
+	const iters = 10
+	for i := 0; i < iters; i++ {
+		ch := layers.NewChpCore(rand.New(rand.NewSource(int64(400 + i))))
+		el := layers.NewErrorLayer(ch, 5e-4, rand.New(rand.NewSource(int64(500+i))))
+		l := NewLayer(el)
+		if err := l.CreateQubits(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := qpdo.WithBypass(l, func() error {
+			_, err := qpdo.Run(l, circuit.New().Add(gates.Prep, 0))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 20; w++ {
+			if _, err := l.RunWindow(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out int
+		if err := qpdo.WithBypass(l, func() error {
+			res, err := qpdo.Run(l, circuit.New().Add(gates.Measure, 0))
+			if err != nil {
+				return err
+			}
+			out = res.Last(0)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		flips += out
+	}
+	if flips > iters/2 {
+		t.Errorf("logical state flipped in %d/%d noisy runs", flips, iters)
+	}
+}

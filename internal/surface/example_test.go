@@ -1,0 +1,40 @@
+package surface_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+// A logical qubit end to end: initialize |0⟩_L on a stabilizer back-end,
+// apply a logical X, run a QEC window, and measure.
+func Example() {
+	chp := layers.NewChpCore(rand.New(rand.NewSource(1)))
+	star := surface.NewNinjaStarLayer(chp, surface.Config{Ancilla: surface.AncillaDedicated})
+	if err := star.CreateQubits(1); err != nil {
+		panic(err)
+	}
+
+	c := circuit.New().
+		Add(gates.Prep, 0). // |0⟩_L: reset + ESM + decode
+		Add(gates.X, 0)     // X_L chain on D2, D4, D6
+	if _, err := qpdo.Run(star, c); err != nil {
+		panic(err)
+	}
+	if _, err := star.RunWindow(0); err != nil {
+		panic(err)
+	}
+	res, err := qpdo.Run(star, circuit.New().Add(gates.Measure, 0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rotation=%s logical=%d\n", star.Star(0).Rotation, res.Last(0))
+
+	// Output:
+	// rotation=normal logical=1
+}

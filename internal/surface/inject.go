@@ -1,0 +1,93 @@
+package surface
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/decoder"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// State injection (thesis Chapter 6 future work, via Horsman et al.
+// [14]): encode an arbitrary physical-qubit state |ψ⟩ = α|0⟩ + β|1⟩ as
+// the logical state of a ninja star. The procedure is exact in the
+// noiseless case and, like all injection schemes, not fault-tolerant —
+// the payload lives on bare qubits until the stabilizers are projected.
+//
+// Protocol (normal orientation):
+//
+//  1. Reset all data qubits; prepare |ψ⟩ on D0.
+//  2. Spread along the left-column logical-X chain: CNOT D0→D3, D0→D6.
+//     The spread set {0,3,6} has even overlap with every Z stabilizer,
+//     so no Z check can distinguish (and hence collapse) the two logical
+//     components: α|000⟩+β|111⟩ on the column, |0⟩ elsewhere.
+//  3. One ESM round projects the X stabilizers to random signs; the
+//     Z stabilizers read +1 deterministically.
+//  4. Fix the negative X signs with Z chains restricted to qubits
+//     outside the spread column. Those chains act on |0⟩ qubits only, so
+//     they are exact identities on the injected components.
+//
+// The result is exactly α|0⟩_L + β|1⟩_L.
+
+// injectSpread lists the relative data qubits carrying the payload.
+var injectSpread = []int{0, 3, 6}
+
+// injectLUT fixes X-stabilizer signs using only non-spread qubits.
+var injectLUT = decoder.BuildLUTRestricted(
+	XSupports(RotNormal), NumData, []int{1, 2, 4, 5, 7, 8})
+
+// InjectState encodes an arbitrary state into logical qubit i. The
+// prepare callback receives the physical index of the payload qubit
+// (relative D0) and returns the circuit preparing |ψ⟩ on it from |0⟩
+// (e.g. an H followed by an RZ). Run under bypass mode for the exact
+// noiseless procedure.
+func (l *NinjaStarLayer) InjectState(i int, prepare func(phys int) *circuit.Circuit) error {
+	st := l.stars[i]
+	st.star.Rotation = RotNormal
+	st.star.Dance = DanceAll
+
+	// Step 1: reset and prepare the payload.
+	if err := l.runLower(st.star.ResetCircuit()); err != nil {
+		return err
+	}
+	prep := prepare(st.star.phys(0))
+	if prep != nil && prep.NumSlots() > 0 {
+		if err := l.runLower(prep); err != nil {
+			return err
+		}
+	}
+
+	// Step 2: spread along the column.
+	spread := circuit.New().
+		Add(gates.CNOT, st.star.phys(0), st.star.phys(3)).
+		Add(gates.CNOT, st.star.phys(0), st.star.phys(6))
+	if err := l.runLower(spread); err != nil {
+		return err
+	}
+
+	// Step 3: project the stabilizers.
+	round, err := l.runESM(st)
+	if err != nil {
+		return err
+	}
+	if round.B != 0 {
+		return fmt.Errorf("surface: injection saw non-trivial Z syndrome %v (noise during injection?)", round.B)
+	}
+
+	// Step 4: restricted sign fixes.
+	if corr := injectLUT.Decode(round.A); len(corr) > 0 {
+		c := circuit.New()
+		slot := c.AppendSlot()
+		for _, d := range corr {
+			c.AddToSlot(slot, gates.Z, st.star.phys(d))
+		}
+		if err := l.runLower(c); err != nil {
+			return err
+		}
+	}
+	st.decA.Reset()
+	st.decB.Reset()
+	st.star.State = qpdo.StateUnknown
+	return nil
+}

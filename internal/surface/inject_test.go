@@ -1,0 +1,140 @@
+package surface
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/pauli"
+	"repro/internal/qpdo"
+)
+
+// logicalExpectations measures ⟨X_L⟩, ⟨Y_L⟩, ⟨Z_L⟩ of star 0 on the
+// state-vector back-end. Y_L = iX_L Z_L = Z0 X2 Y4 X6 Z8 exactly.
+func logicalExpectations(t *testing.T, l *NinjaStarLayer, qx *layers.QxCore) (x, y, z float64) {
+	t.Helper()
+	star := l.Star(0)
+	phys := func(rel int) int { return star.Data[rel] }
+	xl := pauli.XString(phys(2), phys(4), phys(6))
+	zl := pauli.ZString(phys(0), phys(4), phys(8))
+	yl := pauli.NewPauliString(map[int]pauli.Pauli{
+		phys(0): pauli.Z, phys(2): pauli.X, phys(4): pauli.Y,
+		phys(6): pauli.X, phys(8): pauli.Z,
+	})
+	v := qx.Vector()
+	return v.ExpectPauli(xl), v.ExpectPauli(yl), v.ExpectPauli(zl)
+}
+
+// TestInjectState verifies the injection protocol against the payload's
+// Bloch vector for several states, including non-stabilizer ones.
+func TestInjectState(t *testing.T) {
+	cases := []struct {
+		name    string
+		prep    func(q int) *circuit.Circuit
+		x, y, z float64
+	}{
+		{"zero", func(q int) *circuit.Circuit { return circuit.New() }, 0, 0, 1},
+		{"one", func(q int) *circuit.Circuit { return circuit.New().Add(gates.X, q) }, 0, 0, -1},
+		{"plus", func(q int) *circuit.Circuit { return circuit.New().Add(gates.H, q) }, 1, 0, 0},
+		{"plus-i", func(q int) *circuit.Circuit {
+			return circuit.New().Add(gates.H, q).Add(gates.S, q)
+		}, 0, 1, 0},
+		{"magic-T", func(q int) *circuit.Circuit {
+			return circuit.New().Add(gates.H, q).Add(gates.T, q)
+		}, math.Sqrt2 / 2, math.Sqrt2 / 2, 0},
+		{"rz(0.7)", func(q int) *circuit.Circuit {
+			return circuit.New().Add(gates.H, q).Add(gates.RZ(0.7), q)
+		}, math.Cos(0.7), math.Sin(0.7), 0},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			qx := layers.NewQxCore(rand.New(rand.NewSource(77)))
+			l := NewNinjaStarLayer(qx, Config{Ancilla: AncillaDedicated})
+			if err := l.CreateQubits(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.InjectState(0, cse.prep); err != nil {
+				t.Fatal(err)
+			}
+			// The code space is intact: all stabilizers +1.
+			round, err := l.RunESMRound(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round.A != 0 || round.B != 0 {
+				t.Fatalf("dirty syndrome after injection: %+v", round)
+			}
+			gx, gy, gz := logicalExpectations(t, l, qx)
+			if math.Abs(gx-cse.x) > 1e-9 || math.Abs(gy-cse.y) > 1e-9 || math.Abs(gz-cse.z) > 1e-9 {
+				t.Errorf("Bloch vector (%.4f, %.4f, %.4f), want (%.4f, %.4f, %.4f)",
+					gx, gy, gz, cse.x, cse.y, cse.z)
+			}
+		})
+	}
+}
+
+// TestInjectedStateSurvivesQEC runs windows over an injected magic state
+// on a noiseless stack and checks the Bloch vector is untouched, then
+// corrects an injected physical error without damaging it.
+func TestInjectedStateSurvivesQEC(t *testing.T) {
+	qx := layers.NewQxCore(rand.New(rand.NewSource(78)))
+	l := NewNinjaStarLayer(qx, Config{Ancilla: AncillaDedicated})
+	if err := l.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	prep := func(q int) *circuit.Circuit {
+		return circuit.New().Add(gates.H, q).Add(gates.T, q)
+	}
+	if err := l.InjectState(0, prep); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if _, err := l.RunWindow(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gx, gy, gz := logicalExpectations(t, l, qx)
+	want := math.Sqrt2 / 2
+	if math.Abs(gx-want) > 1e-9 || math.Abs(gy-want) > 1e-9 || math.Abs(gz) > 1e-9 {
+		t.Fatalf("QEC idling damaged the magic state: (%.4f, %.4f, %.4f)", gx, gy, gz)
+	}
+	// A single physical X error is corrected without logical damage.
+	if _, err := qpdo.Run(qx, circuit.New().Add(gates.X, l.Star(0).Data[7])); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2; w++ {
+		if _, err := l.RunWindow(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gx, gy, gz = logicalExpectations(t, l, qx)
+	if math.Abs(gx-want) > 1e-9 || math.Abs(gy-want) > 1e-9 || math.Abs(gz) > 1e-9 {
+		t.Fatalf("error correction damaged the magic state: (%.4f, %.4f, %.4f)", gx, gy, gz)
+	}
+}
+
+// TestInjectThenLogicalOps applies logical gates to an injected state:
+// X_L flips ⟨Z_L⟩, Z_L flips ⟨X_L⟩ and ⟨Y_L⟩.
+func TestInjectThenLogicalOps(t *testing.T) {
+	qx := layers.NewQxCore(rand.New(rand.NewSource(79)))
+	l := NewNinjaStarLayer(qx, Config{Ancilla: AncillaDedicated})
+	if err := l.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InjectState(0, func(q int) *circuit.Circuit {
+		return circuit.New().Add(gates.H, q).Add(gates.RZ(0.5), q)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpdo.Run(l, circuit.New().Add(gates.Z, 0)); err != nil {
+		t.Fatal(err)
+	}
+	gx, gy, _ := logicalExpectations(t, l, qx)
+	if math.Abs(gx+math.Cos(0.5)) > 1e-9 || math.Abs(gy+math.Sin(0.5)) > 1e-9 {
+		t.Errorf("Z_L on injected state: (%.4f, %.4f), want (%.4f, %.4f)",
+			gx, gy, -math.Cos(0.5), -math.Sin(0.5))
+	}
+}

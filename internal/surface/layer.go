@@ -1,0 +1,505 @@
+package surface
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/decoder"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// Shared LUTs per hardware ancilla group; the supports never change, so
+// one table per group serves every star and both orientations.
+var (
+	lutA = decoder.BuildLUT(XSupports(RotNormal), NumData)
+	lutB = decoder.BuildLUT(ZSupports(RotNormal), NumData)
+)
+
+// Config tunes a NinjaStarLayer.
+type Config struct {
+	// Ancilla selects dedicated per-star ancillas (default) or one
+	// shared ancilla across all stars.
+	Ancilla AncillaMode
+	// InitRounds is the number of ESM rounds run during logical reset
+	// before decoding initialization errors (thesis §2.6.1 prescribes d
+	// rounds; the functional verification of §5.1.4 uses one).
+	InitRounds int
+	// PostMeasureRounds is the number of Z-only ESM rounds run after a
+	// logical measurement to detect X errors (thesis §2.6.1 step 2).
+	PostMeasureRounds int
+	// DecoderRule selects the windowed decoding rule; the default
+	// agreement rule is fault-tolerant, the intersection rule is the
+	// ablation baseline with a known O(p) logical leak.
+	DecoderRule decoder.Rule
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitRounds <= 0 {
+		c.InitRounds = 1
+	}
+	if c.PostMeasureRounds <= 0 {
+		c.PostMeasureRounds = 2
+	}
+	return c
+}
+
+// starState couples a star with its windowed decoders, one per hardware
+// ancilla group (the group supports are rotation-invariant, so decoder
+// carries survive logical Hadamards).
+type starState struct {
+	star       *Star
+	decA, decB *decoder.WindowDecoder
+}
+
+// WindowStats reports what one QEC window did (thesis Fig 2.6: one or
+// more ESM rounds, decode, apply corrections).
+type WindowStats struct {
+	// CorrectionGates is the number of physical correction gates issued.
+	CorrectionGates int
+	// CorrectionSlots is 1 when a correction time slot was issued.
+	CorrectionSlots int
+}
+
+// NinjaStarLayer is the QEC layer for SC17 logical qubits (thesis
+// §5.1.3): it accepts logical circuits through the standard Core
+// interface, converts each logical operation into physical operations
+// based on the stars' run-time properties (Table 5.3), inserts ESM
+// rounds, decodes syndromes and applies corrections.
+type NinjaStarLayer struct {
+	qpdo.Forwarder
+	cfg   Config
+	stars []*starState
+	queue []*circuit.Circuit
+}
+
+// NewNinjaStarLayer stacks a ninja-star layer above next.
+func NewNinjaStarLayer(next qpdo.Core, cfg Config) *NinjaStarLayer {
+	return &NinjaStarLayer{Forwarder: qpdo.Forwarder{Next: next}, cfg: cfg.withDefaults()}
+}
+
+// CreateQubits allocates n logical qubits. In dedicated mode each star
+// claims 17 physical qubits; in shared-single mode all stars share one
+// trailing ancilla and only a single CreateQubits call is supported.
+func (l *NinjaStarLayer) CreateQubits(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("surface: cannot create %d logical qubits", n)
+	}
+	switch l.cfg.Ancilla {
+	case AncillaDedicated:
+		for i := 0; i < n; i++ {
+			base := l.Next.NumQubits()
+			if err := l.Next.CreateQubits(NumQubits); err != nil {
+				return err
+			}
+			st := &Star{Mode: AncillaDedicated, State: qpdo.StateUnknown}
+			for d := 0; d < NumData; d++ {
+				st.Data[d] = base + d
+			}
+			for a := 0; a < NumAncilla; a++ {
+				st.Anc[a] = base + NumData + a
+			}
+			l.addStar(st)
+		}
+	case AncillaSharedSingle:
+		if len(l.stars) > 0 {
+			return fmt.Errorf("surface: shared-ancilla mode supports a single CreateQubits call")
+		}
+		base := l.Next.NumQubits()
+		if err := l.Next.CreateQubits(n*NumData + 1); err != nil {
+			return err
+		}
+		shared := base + n*NumData
+		for i := 0; i < n; i++ {
+			st := &Star{Mode: AncillaSharedSingle, State: qpdo.StateUnknown}
+			for d := 0; d < NumData; d++ {
+				st.Data[d] = base + i*NumData + d
+			}
+			for a := 0; a < NumAncilla; a++ {
+				st.Anc[a] = shared
+			}
+			l.addStar(st)
+		}
+	default:
+		return fmt.Errorf("surface: unknown ancilla mode %d", l.cfg.Ancilla)
+	}
+	return nil
+}
+
+func (l *NinjaStarLayer) addStar(st *Star) {
+	decA := decoder.NewWindowDecoder(lutA)
+	decB := decoder.NewWindowDecoder(lutB)
+	decA.SetRule(l.cfg.DecoderRule)
+	decB.SetRule(l.cfg.DecoderRule)
+	l.stars = append(l.stars, &starState{star: st, decA: decA, decB: decB})
+}
+
+// RemoveQubits is not supported for logical qubits: a star holds an
+// encoded state that cannot be silently discarded.
+func (l *NinjaStarLayer) RemoveQubits(int) error {
+	return fmt.Errorf("surface: logical qubit removal is not supported")
+}
+
+// NumQubits returns the number of logical qubits.
+func (l *NinjaStarLayer) NumQubits() int { return len(l.stars) }
+
+// Star exposes the run-time properties of logical qubit i.
+func (l *NinjaStarLayer) Star(i int) *Star { return l.stars[i].star }
+
+// Add queues a logical circuit.
+func (l *NinjaStarLayer) Add(c *circuit.Circuit) error {
+	if err := qpdo.Validate(c, len(l.stars)); err != nil {
+		return err
+	}
+	for _, slot := range c.Slots {
+		for _, op := range slot.Ops {
+			switch op.Gate.Name {
+			case gates.PrepZ, gates.MeasZ, gates.GateI, gates.GateX, gates.GateY,
+				gates.GateZ, gates.GateH, gates.GateCNOT, gates.GateCZ:
+			default:
+				return fmt.Errorf("surface: logical gate %s is not fault-tolerantly implementable on SC17", op.Gate)
+			}
+		}
+	}
+	l.queue = append(l.queue, c)
+	return nil
+}
+
+// Execute converts and runs every queued logical operation in order. The
+// returned measurements are logical: Qubit is the logical index.
+func (l *NinjaStarLayer) Execute() (*qpdo.Result, error) {
+	res := &qpdo.Result{}
+	for _, c := range l.queue {
+		for _, slot := range c.Slots {
+			for _, op := range slot.Ops {
+				if err := l.execOp(op, res); err != nil {
+					l.queue = l.queue[:0]
+					return nil, err
+				}
+			}
+		}
+	}
+	l.queue = l.queue[:0]
+	return res, nil
+}
+
+func (l *NinjaStarLayer) execOp(op circuit.Operation, res *qpdo.Result) error {
+	st := l.stars[op.Qubits[0]]
+	switch op.Gate.Name {
+	case gates.GateI:
+		return nil
+	case gates.PrepZ:
+		return l.resetStar(st)
+	case gates.MeasZ:
+		out, err := l.measureStar(st)
+		if err != nil {
+			return err
+		}
+		res.Measurements = append(res.Measurements,
+			qpdo.Measurement{Qubit: op.Qubits[0], Value: out})
+		return nil
+	case gates.GateX:
+		if err := l.runLower(st.star.ChainCircuit(gates.X, LogicalX(st.star.Rotation))); err != nil {
+			return err
+		}
+		switch st.star.State {
+		case qpdo.StateZero:
+			st.star.State = qpdo.StateOne
+		case qpdo.StateOne:
+			st.star.State = qpdo.StateZero
+		}
+		return nil
+	case gates.GateZ:
+		return l.runLower(st.star.ChainCircuit(gates.Z, LogicalZ(st.star.Rotation)))
+	case gates.GateY:
+		// Y_L = i X_L Z_L: both chains, global phase ignored.
+		if err := l.runLower(st.star.ChainCircuit(gates.Z, LogicalZ(st.star.Rotation))); err != nil {
+			return err
+		}
+		return l.execOp(circuit.NewOp(gates.X, op.Qubits[0]), res)
+	case gates.GateH:
+		if err := l.runLower(st.star.TransversalCircuit(gates.H)); err != nil {
+			return err
+		}
+		st.star.Rotation = st.star.Rotation.Flip()
+		st.star.State = qpdo.StateUnknown
+		return nil
+	case gates.GateCNOT:
+		a, b := l.stars[op.Qubits[0]], l.stars[op.Qubits[1]]
+		rotated := a.star.Rotation != b.star.Rotation
+		if err := l.runLower(TwoQubitTransversal(gates.CNOT, a.star, b.star, rotated)); err != nil {
+			return err
+		}
+		switch {
+		case a.star.State == qpdo.StateUnknown:
+			b.star.State = qpdo.StateUnknown
+		case a.star.State == qpdo.StateOne:
+			switch b.star.State {
+			case qpdo.StateZero:
+				b.star.State = qpdo.StateOne
+			case qpdo.StateOne:
+				b.star.State = qpdo.StateZero
+			}
+		}
+		return nil
+	case gates.GateCZ:
+		a, b := l.stars[op.Qubits[0]], l.stars[op.Qubits[1]]
+		// CZ uses the opposite pairing convention from CNOT (thesis
+		// §2.6.1): rotated pairing when the orientations match.
+		rotated := a.star.Rotation == b.star.Rotation
+		return l.runLower(TwoQubitTransversal(gates.CZ, a.star, b.star, rotated))
+	}
+	return fmt.Errorf("surface: unsupported logical operation %s", op.Gate)
+}
+
+// runLower sends one circuit through the lower stack and executes it,
+// discarding measurement results.
+func (l *NinjaStarLayer) runLower(c *circuit.Circuit) error {
+	if err := l.Next.Add(c); err != nil {
+		return err
+	}
+	_, err := l.Next.Execute()
+	return err
+}
+
+// runESM executes one ESM round for a star and parses the syndromes.
+func (l *NinjaStarLayer) runESM(st *starState) (SyndromeRound, error) {
+	if err := l.Next.Add(st.star.ESMCircuit()); err != nil {
+		return SyndromeRound{}, err
+	}
+	res, err := l.Next.Execute()
+	if err != nil {
+		return SyndromeRound{}, err
+	}
+	return st.star.ParseESM(res)
+}
+
+// RunESMRound runs one ESM round for logical qubit i and returns the
+// syndromes; used directly by the experiment harness.
+func (l *NinjaStarLayer) RunESMRound(i int) (SyndromeRound, error) {
+	return l.runESM(l.stars[i])
+}
+
+// correctionCircuit builds the single correction time slot for the
+// decoded data-qubit corrections of each hardware group. Group-A checks
+// measure X stabilizers in the normal orientation, so their syndromes
+// call for Z corrections (and X corrections when rotated); group B is
+// the opposite. A qubit needing both X and Z receives a single Y (equal
+// to XZ up to global phase).
+func (l *NinjaStarLayer) correctionCircuit(st *starState, corrA, corrB []int) *circuit.Circuit {
+	gateA, gateB := gates.Z, gates.X
+	if st.star.Rotation == RotRotated {
+		gateA, gateB = gates.X, gates.Z
+	}
+	kinds := map[int]*gates.Gate{}
+	for _, d := range corrA {
+		kinds[d] = gateA
+	}
+	for _, d := range corrB {
+		if prev, ok := kinds[d]; ok && prev != gateB {
+			kinds[d] = gates.Y
+		} else {
+			kinds[d] = gateB
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for d := 0; d < NumData; d++ {
+		if g, ok := kinds[d]; ok {
+			c.AddToSlot(slot, g, st.star.phys(d))
+		}
+	}
+	return c
+}
+
+// RunWindow executes one QEC window for logical qubit i: two ESM rounds,
+// windowed decoding against the carried round, and one correction slot
+// when corrections are due (thesis §5.3, Fig 5.9).
+func (l *NinjaStarLayer) RunWindow(i int) (WindowStats, error) {
+	st := l.stars[i]
+	r1, err := l.runESM(st)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	r2, err := l.runESM(st)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	var corrA, corrB []int
+	if r1.HasA && r2.HasA {
+		corrA = st.decA.Decode(r1.A, r2.A)
+	}
+	if r1.HasB && r2.HasB {
+		corrB = st.decB.Decode(r1.B, r2.B)
+	}
+	var stats WindowStats
+	if c := l.correctionCircuit(st, corrA, corrB); c != nil {
+		stats.CorrectionGates = c.NumOps()
+		stats.CorrectionSlots = 1
+		if err := l.runLower(c); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// resetStar initializes a star to |0⟩_L (thesis §2.6.1): transversal
+// data reset, InitRounds rounds of ESM, decode the final round
+// absolutely and apply sign-fix corrections.
+func (l *NinjaStarLayer) resetStar(st *starState) error {
+	st.star.Rotation = RotNormal
+	st.star.Dance = DanceAll
+	if err := l.runLower(st.star.ResetCircuit()); err != nil {
+		return err
+	}
+	var round SyndromeRound
+	for i := 0; i < l.cfg.InitRounds; i++ {
+		var err error
+		round, err = l.runESM(st)
+		if err != nil {
+			return err
+		}
+	}
+	corrA := lutA.Decode(round.A)
+	corrB := lutB.Decode(round.B)
+	if c := l.correctionCircuit(st, corrA, corrB); c != nil {
+		if err := l.runLower(c); err != nil {
+			return err
+		}
+	}
+	st.decA.Reset()
+	st.decB.Reset()
+	st.star.State = qpdo.StateZero
+	return nil
+}
+
+// measureStar performs the fault-tolerant nine-qubit logical measurement
+// (thesis §2.6.1): transversal data measurement, Z-only ESM rounds to
+// detect X errors during the procedure, result correction, and the
+// parity of the corrected outcomes as logical result.
+func (l *NinjaStarLayer) measureStar(st *starState) (int, error) {
+	if err := l.Next.Add(st.star.MeasureCircuit()); err != nil {
+		return 0, err
+	}
+	res, err := l.Next.Execute()
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Measurements) < NumData {
+		return 0, fmt.Errorf("surface: logical measurement returned %d results", len(res.Measurements))
+	}
+	ms := res.Measurements[len(res.Measurements)-NumData:]
+	var vals [NumData]int
+	for i, m := range ms {
+		_ = i
+		// Map physical index back to relative data index.
+		rel := -1
+		for d, phys := range st.star.Data {
+			if phys == m.Qubit {
+				rel = d
+				break
+			}
+		}
+		if rel < 0 {
+			return 0, fmt.Errorf("surface: unexpected measurement of qubit %d", m.Qubit)
+		}
+		vals[rel] = m.Value
+	}
+
+	// Partial (Z-only) ESM rounds to catch X errors (thesis §2.6.1).
+	st.star.Dance = DanceZOnly
+	zSup := ZSupports(st.star.Rotation)
+	detections := make([]decoder.Syndrome, 0, l.cfg.PostMeasureRounds)
+	for r := 0; r < l.cfg.PostMeasureRounds; r++ {
+		round, err := l.runESM(st)
+		if err != nil {
+			return 0, err
+		}
+		syn := round.B
+		if st.star.Rotation == RotRotated {
+			syn = round.A
+		}
+		// Expected parity from the reported results: a mismatch flags an
+		// X error during or after the transversal measurement.
+		var expect decoder.Syndrome
+		for i, sup := range zSup {
+			parity := 0
+			for _, d := range sup {
+				parity ^= vals[d]
+			}
+			if parity == 1 {
+				expect = expect.SetBit(i)
+			}
+		}
+		detections = append(detections, syn^expect)
+	}
+	// Persistent detections (seen in every round) are decoded as X
+	// errors and the corresponding reported results are flipped.
+	persistent := ^decoder.Syndrome(0) & 0x0f
+	for _, d := range detections {
+		persistent &= d
+	}
+	lut := lutB
+	if st.star.Rotation == RotRotated {
+		lut = lutA
+	}
+	for _, d := range lut.Decode(persistent) {
+		vals[d] ^= 1
+	}
+
+	out := 0
+	for _, v := range vals {
+		out ^= v
+	}
+	st.star.State = qpdo.BinaryState(out)
+	return out, nil
+}
+
+// MeasureX performs a logical X-basis measurement of qubit i by
+// composing the fault-tolerant primitives of Table 2.3: a transversal
+// logical Hadamard (which rotates the lattice) followed by the nine-
+// qubit Z-basis measurement. Returns 0 for the +1 (|+⟩_L) outcome.
+func (l *NinjaStarLayer) MeasureX(i int) (int, error) {
+	if err := l.execOp(circuit.NewOp(gates.H, i), nil); err != nil {
+		return 0, err
+	}
+	return l.measureStar(l.stars[i])
+}
+
+// ProbeZL measures the Z_L stabilizer chain of logical qubit i with an
+// ancilla (thesis Fig 5.10a) and returns the ancilla outcome (0 ↔ +1).
+// Run it under bypass mode for error-free diagnostics.
+func (l *NinjaStarLayer) ProbeZL(i int) (int, error) {
+	return l.runProbe(l.stars[i].star.ProbeZLCircuit())
+}
+
+// ProbeXL measures the X_L stabilizer chain (thesis Fig 5.10b).
+func (l *NinjaStarLayer) ProbeXL(i int) (int, error) {
+	return l.runProbe(l.stars[i].star.ProbeXLCircuit())
+}
+
+func (l *NinjaStarLayer) runProbe(c *circuit.Circuit) (int, error) {
+	if err := l.Next.Add(c); err != nil {
+		return 0, err
+	}
+	res, err := l.Next.Execute()
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Measurements) == 0 {
+		return 0, fmt.Errorf("surface: probe produced no measurement")
+	}
+	return res.Measurements[len(res.Measurements)-1].Value, nil
+}
+
+// GetState reports the classically known logical states.
+func (l *NinjaStarLayer) GetState() (*qpdo.State, error) {
+	st := &qpdo.State{Values: make([]qpdo.BinaryState, len(l.stars))}
+	for i, s := range l.stars {
+		st.Values[i] = s.star.State
+	}
+	return st, nil
+}

@@ -1,0 +1,213 @@
+// Package surface implements the Surface Code 17 ("ninja star") logical
+// qubit of the thesis (§2.5.1, §2.6.1, Chapter 5): the 17-qubit planar
+// surface-code layout, the 8-time-slot Error Syndrome Measurement circuit
+// (Table 5.8) with the two CNOT interaction patterns of Figs 2.2–2.3, the
+// run-time properties of a ninja star (Table 5.2), the rotation-aware
+// logical operations of Table 2.3/5.3, and a QPDO layer that converts
+// logical circuits into physical operations with integrated QEC.
+package surface
+
+import "repro/internal/pauli"
+
+// NumData and NumAncilla size one ninja star.
+const (
+	NumData    = 9
+	NumAncilla = 8
+	NumQubits  = NumData + NumAncilla
+)
+
+// Rotation is the lattice orientation property (thesis Table 5.2): a
+// transversal logical Hadamard swaps the roles of the X and Z ancillas,
+// equivalent to rotating the lattice by 90 degrees.
+type Rotation int
+
+// Rotation values.
+const (
+	RotNormal Rotation = iota
+	RotRotated
+)
+
+// Flip toggles the orientation.
+func (r Rotation) Flip() Rotation { return 1 - r }
+
+// String renders the thesis property value.
+func (r Rotation) String() string {
+	if r == RotRotated {
+		return "rotated"
+	}
+	return "normal"
+}
+
+// DanceMode selects which ancillas participate in an ESM round
+// (thesis Table 5.2): all of them, or only the Z-type checks (used after
+// a logical measurement to catch X errors).
+type DanceMode int
+
+// Dance modes.
+const (
+	DanceAll DanceMode = iota
+	DanceZOnly
+)
+
+// String renders the thesis property value.
+func (d DanceMode) String() string {
+	if d == DanceZOnly {
+		return "z_only"
+	}
+	return "all"
+}
+
+// checkSpec places one stabilizer check: the relative index of its
+// ancilla and the relative data-qubit index at each diagonal neighbor
+// position (-1 when the boundary check has no neighbor there).
+type checkSpec struct {
+	anc            int
+	nw, ne, sw, se int
+	// sPattern selects the S interaction pattern (Fig 2.2) instead of the
+	// Z pattern (Fig 2.3). The pattern is a property of the hardware
+	// ancilla, not of its current role: it stays fixed across lattice
+	// rotations so the interleaved schedule never double-books a data
+	// qubit within a time slot.
+	sPattern bool
+}
+
+// support lists the data qubits of the check in ascending order.
+func (c checkSpec) support() []int {
+	var out []int
+	for _, d := range []int{c.nw, c.ne, c.sw, c.se} {
+		if d >= 0 {
+			out = append(out, d)
+		}
+	}
+	// Neighbor positions are not sorted; insertion sort the few entries.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// The SC17 layout (thesis Fig 2.1). Data qubits are 0..8 row-major:
+//
+//	D0 D1 D2
+//	D3 D4 D5
+//	D6 D7 D8
+//
+// Ancillas 9..12 are the X checks of Table 2.1 (X0X1X3X4, X1X2,
+// X4X5X7X8, X6X7); ancillas 13..16 are the Z checks (Z0Z3, Z1Z2Z4Z5,
+// Z3Z4Z6Z7, Z5Z8).
+var (
+	groupA = []checkSpec{ // X checks in the normal orientation (S pattern)
+		{anc: 9, nw: 0, ne: 1, sw: 3, se: 4, sPattern: true},
+		{anc: 10, nw: -1, ne: -1, sw: 1, se: 2, sPattern: true},
+		{anc: 11, nw: 4, ne: 5, sw: 7, se: 8, sPattern: true},
+		{anc: 12, nw: 6, ne: 7, sw: -1, se: -1, sPattern: true},
+	}
+	groupB = []checkSpec{ // Z checks in the normal orientation (Z pattern)
+		{anc: 13, nw: -1, ne: 0, sw: -1, se: 3},
+		{anc: 14, nw: 1, ne: 2, sw: 4, se: 5},
+		{anc: 15, nw: 3, ne: 4, sw: 6, se: 7},
+		{anc: 16, nw: 5, ne: -1, sw: 8, se: -1},
+	}
+)
+
+// XChecks returns the checks acting as X-stabilizer measurements in the
+// given orientation; after a logical Hadamard the hardware groups swap
+// roles (thesis Fig 2.5).
+func XChecks(r Rotation) []checkSpec {
+	if r == RotNormal {
+		return groupA
+	}
+	return groupB
+}
+
+// ZChecks returns the checks acting as Z-stabilizer measurements.
+func ZChecks(r Rotation) []checkSpec {
+	if r == RotNormal {
+		return groupB
+	}
+	return groupA
+}
+
+// XSupports returns the supports of the X stabilizers in order, for
+// decoder construction.
+func XSupports(r Rotation) [4][]int {
+	var out [4][]int
+	for i, c := range XChecks(r) {
+		out[i] = c.support()
+	}
+	return out
+}
+
+// ZSupports returns the supports of the Z stabilizers in order.
+func ZSupports(r Rotation) [4][]int {
+	var out [4][]int
+	for i, c := range ZChecks(r) {
+		out[i] = c.support()
+	}
+	return out
+}
+
+// cnotSchedule gives the data-qubit position touched in each of the four
+// CNOT time slots. Group-A ancillas use the S pattern of thesis Fig 2.2
+// (NE, NW, SE, SW); group-B ancillas the Z pattern of Fig 2.3
+// (NE, SE, NW, SW). Using different patterns for the two groups prevents
+// ancilla hook errors from entering the logical state (thesis §2.5.1,
+// [19]) and keeps the interleaved schedule conflict-free.
+func cnotSchedule(c checkSpec) [4]int {
+	if c.sPattern {
+		return [4]int{c.ne, c.nw, c.se, c.sw}
+	}
+	return [4]int{c.ne, c.se, c.nw, c.sw}
+}
+
+// LogicalX returns the data-qubit chain of the logical X operator in the
+// given orientation: D2,D4,D6 normally, rotating onto D0,D4,D8 (thesis
+// Figs 2.4–2.5).
+func LogicalX(r Rotation) []int {
+	if r == RotNormal {
+		return []int{2, 4, 6}
+	}
+	return []int{0, 4, 8}
+}
+
+// LogicalZ returns the data-qubit chain of the logical Z operator:
+// D0,D4,D8 normally, rotating onto D2,D4,D6.
+func LogicalZ(r Rotation) []int {
+	if r == RotNormal {
+		return []int{0, 4, 8}
+	}
+	return []int{2, 4, 6}
+}
+
+// transversalPairs gives the data-qubit pairing of a transversal
+// two-qubit logical gate between stars A and B (thesis §2.6.1): the
+// straight pairing (A_Dn, B_Dn) or the rotated pairing
+// {(0,6),(1,3),(2,0),(3,7),(4,4),(5,1),(6,8),(7,5),(8,2)}.
+func transversalPairs(rotated bool) [9][2]int {
+	if !rotated {
+		var out [9][2]int
+		for i := range out {
+			out[i] = [2]int{i, i}
+		}
+		return out
+	}
+	return [9][2]int{
+		{0, 6}, {1, 3}, {2, 0}, {3, 7}, {4, 4}, {5, 1}, {6, 8}, {7, 5}, {8, 2},
+	}
+}
+
+// StabilizerStrings returns the eight stabilizer generators of the star
+// in the given orientation as Pauli strings over relative qubit indices
+// 0..8, for verification against thesis Table 2.1.
+func StabilizerStrings(r Rotation) []pauli.PauliString {
+	var out []pauli.PauliString
+	for _, c := range XChecks(r) {
+		out = append(out, pauli.XString(c.support()...))
+	}
+	for _, c := range ZChecks(r) {
+		out = append(out, pauli.ZString(c.support()...))
+	}
+	return out
+}

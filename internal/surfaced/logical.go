@@ -1,0 +1,99 @@
+package surfaced
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// ApplyLogicalX executes the logical X chain (left column) on the plane.
+func (p *Plane) ApplyLogicalX() error {
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for _, d := range p.Layout.LogicalX() {
+		c.AddToSlot(slot, gates.X, p.data[d])
+	}
+	return p.run(c)
+}
+
+// ApplyLogicalZ executes the logical Z chain (top row).
+func (p *Plane) ApplyLogicalZ() error {
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for _, d := range p.Layout.LogicalZ() {
+		c.AddToSlot(slot, gates.Z, p.data[d])
+	}
+	return p.run(c)
+}
+
+// MeasureLogical performs the transversal d²-qubit logical measurement:
+// every data qubit is measured in Z, the Z-check parities of the
+// reported bit string are decoded through the matching graph to repair
+// readout errors classically (the generalization of thesis §2.6.1
+// step 2-3), and the parity of the corrected string along the logical
+// representatives yields the outcome.
+func (p *Plane) MeasureLogical() (int, error) {
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for _, q := range p.data {
+		c.AddToSlot(slot, gates.Measure, q)
+	}
+	if err := p.stack.Add(c); err != nil {
+		return 0, err
+	}
+	res, err := p.stack.Execute()
+	if err != nil {
+		return 0, err
+	}
+	n := p.Layout.NumData()
+	if len(res.Measurements) < n {
+		return 0, fmt.Errorf("surfaced: logical measurement returned %d results", len(res.Measurements))
+	}
+	ms := res.Measurements[len(res.Measurements)-n:]
+	vals := make([]int, n)
+	for _, m := range ms {
+		rel := -1
+		for i, phys := range p.data {
+			if phys == m.Qubit {
+				rel = i
+				break
+			}
+		}
+		if rel < 0 {
+			return 0, fmt.Errorf("surfaced: unexpected measurement of qubit %d", m.Qubit)
+		}
+		vals[rel] = m.Value
+	}
+	// Classical repair: any codeword satisfies every Z check, so
+	// non-trivial readout parities flag flipped bits; the matching
+	// decoder names a minimal set of bits to flip back.
+	var fl []int
+	for i, ck := range p.Layout.ZChecks {
+		parity := 0
+		for _, d := range ck.Support {
+			parity ^= vals[d]
+		}
+		if parity == 1 {
+			fl = append(fl, i)
+		}
+	}
+	for _, d := range p.gZ.Match(fl) {
+		vals[d] ^= 1
+	}
+	// The corrected string is a codeword; its class is the parity along
+	// any logical-Z representative.
+	out := 0
+	for _, d := range p.Layout.LogicalZ() {
+		out ^= vals[d]
+	}
+	return out, nil
+}
+
+// InitOne prepares |1⟩_L: InitZero followed by the logical X chain.
+func (p *Plane) InitOne() error {
+	if err := p.InitZero(); err != nil {
+		return err
+	}
+	return p.ApplyLogicalX()
+}

@@ -1,0 +1,95 @@
+package surfaced
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/layers"
+)
+
+func TestLogicalMeasurement(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		ch := layers.NewChpCore(rand.New(rand.NewSource(int64(d))))
+		p, err := NewPlane(ch, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.InitZero(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.MeasureLogical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != 0 {
+			t.Errorf("d=%d: |0⟩_L measured %d", d, out)
+		}
+
+		// |1⟩_L.
+		p2, err := NewPlane(layers.NewChpCore(rand.New(rand.NewSource(int64(d+10)))), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p2.InitOne(); err != nil {
+			t.Fatal(err)
+		}
+		out, err = p2.MeasureLogical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != 1 {
+			t.Errorf("d=%d: |1⟩_L measured %d", d, out)
+		}
+	}
+}
+
+func TestLogicalZIsStabilizerOnZeroL(t *testing.T) {
+	// Z_L acts trivially on |0⟩_L: measurement still 0.
+	ch := layers.NewChpCore(rand.New(rand.NewSource(20)))
+	p, err := NewPlane(ch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InitZero(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ApplyLogicalZ(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.MeasureLogical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 0 {
+		t.Errorf("Z_L|0⟩_L measured %d", out)
+	}
+}
+
+func TestReadoutErrorRepair(t *testing.T) {
+	// Up to (d−1)/2 X errors immediately before the transversal
+	// measurement must be repaired classically by the matching decoder.
+	for _, d := range []int{3, 5} {
+		limit := (d - 1) / 2
+		for q := 0; q < d*d; q++ {
+			ch := layers.NewChpCore(rand.New(rand.NewSource(int64(30 + q))))
+			p, err := NewPlane(ch, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.InitOne(); err != nil {
+				t.Fatal(err)
+			}
+			// Inject up to `limit` X errors on distinct qubits.
+			for k := 0; k < limit; k++ {
+				ch.Tableau().X(p.Data((q + k*7) % (d * d)))
+			}
+			out, err := p.MeasureLogical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != 1 {
+				t.Errorf("d=%d: %d pre-measurement X error(s) at D%d corrupted the readout", d, limit, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package surfaced
+
+import (
+	"math"
+	"sort"
+)
+
+// CheckGraph is the decoding graph of one stabilizer type: nodes are the
+// checks plus a virtual boundary node; every data qubit is an edge
+// between the (at most two) checks of that type containing it, or
+// between a check and the boundary when only one contains it. A single
+// data error flips exactly the checks at its edge's endpoints, so error
+// chains are paths and decoding is minimum-weight matching of the
+// flagged checks (thesis §2.6.1; Edmonds [24, 25]).
+type CheckGraph struct {
+	numChecks int
+	// adj[node] lists (neighbor, dataQubit) edges; node numChecks is the
+	// boundary.
+	adj [][]edge
+	// dist[a][b] and via[a][b] hold all-pairs BFS shortest paths
+	// (unit-weight edges); via is the first edge on the path.
+	dist [][]int
+	next [][]edge
+}
+
+type edge struct {
+	to   int
+	data int
+}
+
+// Boundary is the virtual node index.
+func (g *CheckGraph) Boundary() int { return g.numChecks }
+
+// NewCheckGraph builds the graph for a set of same-type checks over
+// nData data qubits.
+func NewCheckGraph(checks []Check, nData int) *CheckGraph {
+	g := &CheckGraph{numChecks: len(checks)}
+	n := len(checks) + 1
+	g.adj = make([][]edge, n)
+	owners := make([][]int, nData)
+	for ci, ck := range checks {
+		for _, q := range ck.Support {
+			owners[q] = append(owners[q], ci)
+		}
+	}
+	addEdge := func(a, b, q int) {
+		g.adj[a] = append(g.adj[a], edge{to: b, data: q})
+		g.adj[b] = append(g.adj[b], edge{to: a, data: q})
+	}
+	for q, own := range owners {
+		switch len(own) {
+		case 1:
+			addEdge(own[0], g.Boundary(), q)
+		case 2:
+			addEdge(own[0], own[1], q)
+		}
+	}
+	// All-pairs BFS.
+	g.dist = make([][]int, n)
+	g.next = make([][]edge, n)
+	for s := 0; s < n; s++ {
+		g.dist[s] = make([]int, n)
+		g.next[s] = make([]edge, n)
+		for i := range g.dist[s] {
+			g.dist[s][i] = math.MaxInt32
+			g.next[s][i] = edge{to: -1, data: -1}
+		}
+		g.dist[s][s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[u] {
+				if g.dist[s][e.to] > g.dist[s][u]+1 {
+					g.dist[s][e.to] = g.dist[s][u] + 1
+					// Record the first step from s toward e.to by
+					// back-tracking: next hop from e.to toward s is u
+					// via e; we store per-target the edge into the
+					// target, then reconstruct backwards.
+					g.next[s][e.to] = edge{to: u, data: e.data}
+					queue = append(queue, e.to)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Path returns the data qubits along one shortest path between two
+// nodes.
+func (g *CheckGraph) Path(a, b int) []int {
+	if g.dist[a][b] >= math.MaxInt32 {
+		return nil
+	}
+	var out []int
+	cur := b
+	for cur != a {
+		e := g.next[a][cur]
+		out = append(out, e.data)
+		cur = e.to
+	}
+	return out
+}
+
+// Dist returns the BFS distance between two nodes.
+func (g *CheckGraph) Dist(a, b int) int { return g.dist[a][b] }
+
+// Match performs minimum-weight matching of the flagged checks, where
+// every flagged check pairs either with another flagged check or with
+// the boundary (which can absorb any number). Exact search is used up to
+// ten flagged checks; beyond that a greedy nearest-pair heuristic keeps
+// decoding O(k²) (the thesis' rule-based decoder has the same spirit:
+// cheap classical logic rather than optimal inference).
+//
+// The returned slice holds the data qubits of all correction chains
+// (duplicates cancelled modulo 2).
+func (g *CheckGraph) Match(flagged []int) []int {
+	counts := map[int]int{}
+	addPath := func(a, b int) {
+		for _, q := range g.Path(a, b) {
+			counts[q]++
+		}
+	}
+	if len(flagged) <= 10 {
+		pairs := g.exactMatch(flagged)
+		for _, p := range pairs {
+			addPath(p[0], p[1])
+		}
+	} else {
+		g.greedyMatch(flagged, addPath)
+	}
+	var out []int
+	for q, n := range counts {
+		if n%2 == 1 {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// exactMatch searches all pairings recursively with memoization on the
+// bitmask of unmatched flagged checks.
+func (g *CheckGraph) exactMatch(flagged []int) [][2]int {
+	k := len(flagged)
+	if k == 0 {
+		return nil
+	}
+	memo := make(map[uint]int)
+	choice := make(map[uint][2]int)
+	b := g.Boundary()
+	var solve func(mask uint) int
+	solve = func(mask uint) int {
+		if mask == 0 {
+			return 0
+		}
+		if v, ok := memo[mask]; ok {
+			return v
+		}
+		// Lowest set bit pairs with boundary or another flagged check.
+		first := 0
+		for mask&(1<<uint(first)) == 0 {
+			first++
+		}
+		rest := mask &^ (1 << uint(first))
+		best := g.Dist(flagged[first], b) + solve(rest)
+		bestPair := [2]int{flagged[first], b}
+		for j := first + 1; j < k; j++ {
+			if rest&(1<<uint(j)) == 0 {
+				continue
+			}
+			cost := g.Dist(flagged[first], flagged[j]) + solve(rest&^(1<<uint(j)))
+			if cost < best {
+				best = cost
+				bestPair = [2]int{flagged[first], flagged[j]}
+			}
+		}
+		memo[mask] = best
+		choice[mask] = bestPair
+		return best
+	}
+	full := uint(1)<<uint(k) - 1
+	solve(full)
+	// Reconstruct.
+	var out [][2]int
+	mask := full
+	for mask != 0 {
+		p := choice[mask]
+		out = append(out, p)
+		first := 0
+		for mask&(1<<uint(first)) == 0 {
+			first++
+		}
+		mask &^= 1 << uint(first)
+		if p[1] != g.Boundary() {
+			for j := range flagged {
+				if flagged[j] == p[1] && mask&(1<<uint(j)) != 0 {
+					mask &^= 1 << uint(j)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// greedyMatch repeatedly pairs the closest two unmatched checks (or a
+// check with the boundary when that is closer).
+func (g *CheckGraph) greedyMatch(flagged []int, addPath func(a, b int)) {
+	alive := append([]int(nil), flagged...)
+	b := g.Boundary()
+	for len(alive) > 0 {
+		bi, bj, best := 0, -1, g.Dist(alive[0], b)
+		for i := 0; i < len(alive); i++ {
+			if d := g.Dist(alive[i], b); d < best {
+				bi, bj, best = i, -1, d
+			}
+			for j := i + 1; j < len(alive); j++ {
+				if d := g.Dist(alive[i], alive[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bj < 0 {
+			addPath(alive[bi], b)
+			alive = append(alive[:bi], alive[bi+1:]...)
+			continue
+		}
+		addPath(alive[bi], alive[bj])
+		// Remove the larger index first.
+		alive = append(alive[:bj], alive[bj+1:]...)
+		alive = append(alive[:bi], alive[bi+1:]...)
+	}
+}

@@ -1,0 +1,343 @@
+package surfaced
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// Plane is one distance-d logical qubit running on a QPDO stack: the
+// generalization of the ninja-star layer's QEC machinery (ESM rounds,
+// agreement-rule windows, corrections) with the matching decoder in
+// place of the d = 3 look-up table. The plane supports the idling-qubit
+// experiment of thesis §5.3 — initialization, windows, diagnostics — at
+// any odd distance.
+type Plane struct {
+	Layout *Layout
+	stack  qpdo.Core
+	// data[i] and anc maps are the physical placements.
+	data []int
+	ancX []int
+	ancZ []int
+	// graphs per error type: gX decodes Z errors (flagged X checks),
+	// gZ decodes X errors (flagged Z checks).
+	gX, gZ *CheckGraph
+	// RoundsPerWindow is the number of ESM rounds per QEC window,
+	// d−1 by default (thesis Eq. 5.7: tsrounds = (d−1)·tsESM).
+	RoundsPerWindow int
+	// prevX/prevZ hold the previous round for the agreement rule; the
+	// carry mirrors decoder.WindowDecoder's semantics.
+	carryX, carryZ []bool
+	haveCarry      bool
+}
+
+// NewPlane allocates the physical qubits on the stack (data first, then
+// X ancillas, then Z ancillas) and prepares the decoder graphs.
+func NewPlane(stack qpdo.Core, d int) (*Plane, error) {
+	lay, err := NewLayout(d)
+	if err != nil {
+		return nil, err
+	}
+	base := stack.NumQubits()
+	if err := stack.CreateQubits(lay.NumData() + lay.NumAncilla()); err != nil {
+		return nil, err
+	}
+	p := &Plane{Layout: lay, stack: stack}
+	for i := 0; i < lay.NumData(); i++ {
+		p.data = append(p.data, base+i)
+	}
+	next := base + lay.NumData()
+	for range lay.XChecks {
+		p.ancX = append(p.ancX, next)
+		next++
+	}
+	for range lay.ZChecks {
+		p.ancZ = append(p.ancZ, next)
+		next++
+	}
+	p.gX = NewCheckGraph(lay.XChecks, lay.NumData())
+	p.gZ = NewCheckGraph(lay.ZChecks, lay.NumData())
+	p.carryX = make([]bool, len(lay.XChecks))
+	p.carryZ = make([]bool, len(lay.ZChecks))
+	p.RoundsPerWindow = d - 1
+	return p, nil
+}
+
+// Data returns the physical index of data qubit i.
+func (p *Plane) Data(i int) int { return p.data[i] }
+
+// ESMCircuit builds the parallel syndrome-measurement round: reset
+// slots, the four interleaved CNOT steps with the two-pattern schedule,
+// the Hadamard sandwich on X ancillas, and the measurement slot
+// (the Table 5.8 structure generalized; 8 time slots at every distance).
+func (p *Plane) ESMCircuit() *circuit.Circuit {
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for _, a := range p.ancX {
+		c.AddToSlot(slot, gates.Prep, a)
+	}
+	slot = c.AppendSlot()
+	for _, a := range p.ancZ {
+		c.AddToSlot(slot, gates.Prep, a)
+	}
+	for i := range p.ancX {
+		c.AddToSlot(slot, gates.H, p.ancX[i])
+	}
+	for step := 0; step < 4; step++ {
+		slot = c.AppendSlot()
+		for i, ck := range p.Layout.XChecks {
+			if d := ck.schedule()[step]; d >= 0 {
+				c.AddToSlot(slot, gates.CNOT, p.ancX[i], p.data[d])
+			}
+		}
+		for i, ck := range p.Layout.ZChecks {
+			if d := ck.schedule()[step]; d >= 0 {
+				c.AddToSlot(slot, gates.CNOT, p.data[d], p.ancZ[i])
+			}
+		}
+	}
+	slot = c.AppendSlot()
+	for _, a := range p.ancX {
+		c.AddToSlot(slot, gates.H, a)
+	}
+	slot = c.AppendSlot()
+	for _, a := range p.ancX {
+		c.AddToSlot(slot, gates.Measure, a)
+	}
+	for _, a := range p.ancZ {
+		c.AddToSlot(slot, gates.Measure, a)
+	}
+	return c
+}
+
+// Round holds one ESM round's syndromes (true = −1 outcome).
+type Round struct {
+	X, Z []bool
+}
+
+// Clean reports an all-trivial syndrome.
+func (r Round) Clean() bool {
+	for _, b := range r.X {
+		if b {
+			return false
+		}
+	}
+	for _, b := range r.Z {
+		if b {
+			return false
+		}
+	}
+	return true
+}
+
+// RunESMRound executes one round and parses the syndromes.
+func (p *Plane) RunESMRound() (Round, error) {
+	if err := p.stack.Add(p.ESMCircuit()); err != nil {
+		return Round{}, err
+	}
+	res, err := p.stack.Execute()
+	if err != nil {
+		return Round{}, err
+	}
+	want := len(p.ancX) + len(p.ancZ)
+	if len(res.Measurements) < want {
+		return Round{}, fmt.Errorf("surfaced: ESM produced %d measurements, want %d",
+			len(res.Measurements), want)
+	}
+	ms := res.Measurements[len(res.Measurements)-want:]
+	r := Round{X: make([]bool, len(p.ancX)), Z: make([]bool, len(p.ancZ))}
+	for i := range p.ancX {
+		r.X[i] = ms[i].Value == 1
+	}
+	for i := range p.ancZ {
+		r.Z[i] = ms[len(p.ancX)+i].Value == 1
+	}
+	return r, nil
+}
+
+// InitZero prepares |0⟩_L: transversal reset, one ESM round, and exact
+// sign fixes from the matching decoder (run it under bypass mode for a
+// noiseless start, as the LER experiment does).
+func (p *Plane) InitZero() error {
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for _, q := range p.data {
+		c.AddToSlot(slot, gates.Prep, q)
+	}
+	if err := p.run(c); err != nil {
+		return err
+	}
+	r, err := p.RunESMRound()
+	if err != nil {
+		return err
+	}
+	// Z corrections fix flagged X checks; X corrections fix flagged Z
+	// checks (only X checks can be non-trivial after a |0…0⟩ reset).
+	zCorr := p.gX.Match(flagged(r.X))
+	xCorr := p.gZ.Match(flagged(r.Z))
+	if err := p.applyCorrections(xCorr, zCorr); err != nil {
+		return err
+	}
+	p.haveCarry = false
+	for i := range p.carryX {
+		p.carryX[i] = false
+	}
+	for i := range p.carryZ {
+		p.carryZ[i] = false
+	}
+	return nil
+}
+
+func flagged(bits []bool) []int {
+	var out []int
+	for i, b := range bits {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func eqBits(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WindowStats reports one QEC window.
+type WindowStats struct {
+	CorrectionGates int
+	CorrectionSlots int
+}
+
+// RunWindow executes one window: RoundsPerWindow (= d−1) ESM rounds, the
+// agreement rule per stabilizer type on the final two rounds (decode only
+// when they agree; the carried round promotes errors confirmed across the
+// window boundary), matching decode, and one correction slot.
+func (p *Plane) RunWindow() (WindowStats, error) {
+	rounds := p.RoundsPerWindow
+	if rounds < 2 {
+		rounds = 2
+	}
+	var r1, r2 Round
+	for i := 0; i < rounds; i++ {
+		r, err := p.RunESMRound()
+		if err != nil {
+			return WindowStats{}, err
+		}
+		r1, r2 = r2, r
+	}
+	decide := func(carry, a, b []bool) []int {
+		if eqBits(a, b) {
+			return flagged(a)
+		}
+		if p.haveCarry && eqBits(carry, a) {
+			return flagged(a)
+		}
+		return nil
+	}
+	zCorr := p.gX.Match(decide(p.carryX, r1.X, r2.X))
+	xCorr := p.gZ.Match(decide(p.carryZ, r1.Z, r2.Z))
+	// Carry the newest round, compensated for the corrections we are
+	// about to apply (each correction flips the syndromes of the checks
+	// containing it).
+	copy(p.carryX, r2.X)
+	copy(p.carryZ, r2.Z)
+	for _, q := range zCorr {
+		for i, ck := range p.Layout.XChecks {
+			if contains(ck.Support, q) {
+				p.carryX[i] = !p.carryX[i]
+			}
+		}
+	}
+	for _, q := range xCorr {
+		for i, ck := range p.Layout.ZChecks {
+			if contains(ck.Support, q) {
+				p.carryZ[i] = !p.carryZ[i]
+			}
+		}
+	}
+	p.haveCarry = true
+
+	var st WindowStats
+	if len(xCorr)+len(zCorr) > 0 {
+		st.CorrectionSlots = 1
+		c := p.correctionCircuit(xCorr, zCorr)
+		st.CorrectionGates = c.NumOps()
+		if err := p.run(c); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Plane) correctionCircuit(xCorr, zCorr []int) *circuit.Circuit {
+	kinds := map[int]*gates.Gate{}
+	for _, q := range zCorr {
+		kinds[q] = gates.Z
+	}
+	for _, q := range xCorr {
+		if kinds[q] == gates.Z {
+			kinds[q] = gates.Y
+		} else {
+			kinds[q] = gates.X
+		}
+	}
+	c := circuit.New()
+	slot := c.AppendSlot()
+	for i := 0; i < p.Layout.NumData(); i++ {
+		if g, ok := kinds[i]; ok {
+			c.AddToSlot(slot, g, p.data[i])
+		}
+	}
+	return c
+}
+
+func (p *Plane) applyCorrections(xCorr, zCorr []int) error {
+	if len(xCorr)+len(zCorr) == 0 {
+		return nil
+	}
+	return p.run(p.correctionCircuit(xCorr, zCorr))
+}
+
+func (p *Plane) run(c *circuit.Circuit) error {
+	if err := p.stack.Add(c); err != nil {
+		return err
+	}
+	_, err := p.stack.Execute()
+	return err
+}
+
+// ProbeZL measures the logical Z chain with an ancilla (the Fig 5.10a
+// diagnostic generalized); returns 0 for +1. Run under bypass mode.
+func (p *Plane) ProbeZL() (int, error) {
+	anc := p.ancX[0]
+	c := circuit.New()
+	c.Add(gates.Prep, anc)
+	for _, d := range p.Layout.LogicalZ() {
+		c.Add(gates.CNOT, p.data[d], anc)
+	}
+	c.Add(gates.Measure, anc)
+	if err := p.stack.Add(c); err != nil {
+		return 0, err
+	}
+	res, err := p.stack.Execute()
+	if err != nil {
+		return 0, err
+	}
+	return res.Measurements[len(res.Measurements)-1].Value, nil
+}

@@ -1,0 +1,67 @@
+package surfaced
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the lattice as ASCII art: data qubits as D<n>, check
+// ancillas as X/Z at their plaquette positions, with flagged checks from
+// an optional syndrome round marked with '!'. Useful for debugging
+// decoders and for documentation.
+func (l *Layout) Render(round *Round) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distance-%d rotated surface code (%d data, %d checks)\n",
+		l.D, l.NumData(), l.NumAncilla())
+	flaggedX := map[[2]int]bool{}
+	flaggedZ := map[[2]int]bool{}
+	if round != nil {
+		for i, ck := range l.XChecks {
+			if i < len(round.X) && round.X[i] {
+				flaggedX[[2]int{ck.Row, ck.Col}] = true
+			}
+		}
+		for i, ck := range l.ZChecks {
+			if i < len(round.Z) && round.Z[i] {
+				flaggedZ[[2]int{ck.Row, ck.Col}] = true
+			}
+		}
+	}
+	checkAt := map[[2]int]byte{}
+	for _, ck := range l.XChecks {
+		checkAt[[2]int{ck.Row, ck.Col}] = 'X'
+	}
+	for _, ck := range l.ZChecks {
+		checkAt[[2]int{ck.Row, ck.Col}] = 'Z'
+	}
+	// Interleave plaquette rows (checks) and data rows.
+	for pr := 0; pr <= l.D; pr++ {
+		// Check row pr.
+		line := "  "
+		for pc := 0; pc <= l.D; pc++ {
+			cell := "    "
+			if t, ok := checkAt[[2]int{pr, pc}]; ok {
+				mark := " "
+				if flaggedX[[2]int{pr, pc}] || flaggedZ[[2]int{pr, pc}] {
+					mark = "!"
+				}
+				cell = fmt.Sprintf(" %c%s ", t, mark)
+			}
+			line += cell
+		}
+		if strings.TrimSpace(line) != "" {
+			b.WriteString(strings.TrimRight(line, " "))
+			b.WriteByte('\n')
+		}
+		// Data row pr (between plaquette rows pr and pr+1).
+		if pr < l.D {
+			line := ""
+			for c := 0; c < l.D; c++ {
+				line += fmt.Sprintf("D%-3d", pr*l.D+c)
+			}
+			b.WriteString(strings.TrimRight(line, " "))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,362 @@
+package surfaced
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/pauli"
+	"repro/internal/surface"
+)
+
+func TestLayoutCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		l, err := NewLayout(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(l.XChecks) + len(l.ZChecks); got != d*d-1 {
+			t.Errorf("d=%d: %d checks, want %d", d, got, d*d-1)
+		}
+		if len(l.XChecks) != len(l.ZChecks) {
+			t.Errorf("d=%d: %d X vs %d Z checks", d, len(l.XChecks), len(l.ZChecks))
+		}
+		// Every data qubit is covered by at least one check of each type.
+		for _, checks := range [][]Check{l.XChecks, l.ZChecks} {
+			cover := make([]int, l.NumData())
+			for _, ck := range checks {
+				for _, q := range ck.Support {
+					cover[q]++
+				}
+			}
+			for q, n := range cover {
+				if n < 1 || n > 2 {
+					t.Errorf("d=%d: data %d covered by %d checks of one type", d, q, n)
+				}
+			}
+		}
+	}
+	if _, err := NewLayout(4); err == nil {
+		t.Error("even distance accepted")
+	}
+	if _, err := NewLayout(1); err == nil {
+		t.Error("distance 1 accepted")
+	}
+}
+
+// TestD3MatchesSC17 pins the d=3 instance to the exact stabilizers of
+// thesis Table 2.1 (as implemented in package surface).
+func TestD3MatchesSC17(t *testing.T) {
+	l, err := NewLayout(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := surface.XSupports(surface.RotNormal)
+	wantZ := surface.ZSupports(surface.RotNormal)
+	asSet := func(checks []Check) map[string]bool {
+		m := map[string]bool{}
+		for _, ck := range checks {
+			m[key(ck.Support)] = true
+		}
+		return m
+	}
+	gotX, gotZ := asSet(l.XChecks), asSet(l.ZChecks)
+	for _, sup := range wantX {
+		if !gotX[key(sup)] {
+			t.Errorf("X stabilizer %v missing at d=3", sup)
+		}
+	}
+	for _, sup := range wantZ {
+		if !gotZ[key(sup)] {
+			t.Errorf("Z stabilizer %v missing at d=3", sup)
+		}
+	}
+}
+
+func key(sup []int) string {
+	out := ""
+	for _, q := range sup {
+		out += string(rune('a' + q))
+	}
+	return out
+}
+
+func TestStabilizersCommute(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		l, _ := NewLayout(d)
+		for _, x := range l.XChecks {
+			xs := pauli.XString(x.Support...)
+			for _, z := range l.ZChecks {
+				if !xs.Commutes(pauli.ZString(z.Support...)) {
+					t.Errorf("d=%d: X%v and Z%v anti-commute", d, x.Support, z.Support)
+				}
+			}
+		}
+		// Logical operators commute with all stabilizers and anti-commute
+		// with each other.
+		xl := pauli.XString(l.LogicalX()...)
+		zl := pauli.ZString(l.LogicalZ()...)
+		for _, z := range l.ZChecks {
+			if !xl.Commutes(pauli.ZString(z.Support...)) {
+				t.Errorf("d=%d: X_L anti-commutes with Z%v", d, z.Support)
+			}
+		}
+		for _, x := range l.XChecks {
+			if !zl.Commutes(pauli.XString(x.Support...)) {
+				t.Errorf("d=%d: Z_L anti-commutes with X%v", d, x.Support)
+			}
+		}
+		if xl.Commutes(zl) {
+			t.Errorf("d=%d: X_L and Z_L should anti-commute", d)
+		}
+		if len(l.LogicalX()) != d || len(l.LogicalZ()) != d {
+			t.Errorf("d=%d: logical weights %d/%d", d, len(l.LogicalX()), len(l.LogicalZ()))
+		}
+	}
+}
+
+func TestESMScheduleConflictFree(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		ch := layers.NewChpCore(rand.New(rand.NewSource(1)))
+		p, err := NewPlane(ch, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := p.ESMCircuit()
+		if err := c.Validate(); err != nil {
+			t.Errorf("d=%d: ESM schedule conflict: %v", d, err)
+		}
+		if c.NumSlots() != 8 {
+			t.Errorf("d=%d: ESM has %d slots, want 8", d, c.NumSlots())
+		}
+	}
+}
+
+func TestCheckGraphPaths(t *testing.T) {
+	l, _ := NewLayout(3)
+	g := NewCheckGraph(l.ZChecks, l.NumData())
+	// A single X error on any data qubit flags checks whose matching
+	// must reproduce a correction with the same syndrome.
+	for q := 0; q < l.NumData(); q++ {
+		var fl []int
+		for i, ck := range l.ZChecks {
+			if contains(ck.Support, q) {
+				fl = append(fl, i)
+			}
+		}
+		corr := g.Match(fl)
+		// The correction must produce exactly the same flagged set.
+		got := map[int]bool{}
+		for _, cq := range corr {
+			for i, ck := range l.ZChecks {
+				if contains(ck.Support, cq) {
+					got[i] = !got[i]
+				}
+			}
+		}
+		for _, i := range fl {
+			if !got[i] {
+				t.Errorf("correction %v for error on D%d does not flip check %d", corr, q, i)
+			}
+			delete(got, i)
+		}
+		for i, v := range got {
+			if v {
+				t.Errorf("correction %v for D%d flips extra check %d", corr, q, i)
+			}
+		}
+	}
+	// Empty syndrome: no correction.
+	if corr := g.Match(nil); len(corr) != 0 {
+		t.Errorf("empty syndrome gave corrections %v", corr)
+	}
+}
+
+func TestMatchingMinimality(t *testing.T) {
+	// At d=5, a single error's correction must have weight ≤ 2 (it is
+	// distance ≤ 2 from reproducing the 1-2 flagged checks).
+	l, _ := NewLayout(5)
+	g := NewCheckGraph(l.ZChecks, l.NumData())
+	for q := 0; q < l.NumData(); q++ {
+		var fl []int
+		for i, ck := range l.ZChecks {
+			if contains(ck.Support, q) {
+				fl = append(fl, i)
+			}
+		}
+		corr := g.Match(fl)
+		if len(corr) > 2 {
+			t.Errorf("single error on D%d decoded to weight-%d correction %v", q, len(corr), corr)
+		}
+	}
+}
+
+func TestInitAndIdle(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		ch := layers.NewChpCore(rand.New(rand.NewSource(int64(10 + d))))
+		p, err := NewPlane(ch, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.InitZero(); err != nil {
+			t.Fatal(err)
+		}
+		// All stabilizers +1 and Z_L = +1.
+		r, err := p.RunESMRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Clean() {
+			t.Fatalf("d=%d: dirty syndrome after init: %+v", d, r)
+		}
+		toPhys := func(rel []int) []int {
+			out := make([]int, len(rel))
+			for i, q := range rel {
+				out[i] = p.Data(q)
+			}
+			return out
+		}
+		v, det := ch.Tableau().ExpectPauli(pauli.ZString(toPhys(p.Layout.LogicalZ())...))
+		if !det || v != 1 {
+			t.Fatalf("d=%d: Z_L after init = %d det=%v", d, v, det)
+		}
+		// Idle windows issue no corrections.
+		for w := 0; w < 3; w++ {
+			st, err := p.RunWindow()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.CorrectionGates != 0 {
+				t.Errorf("d=%d window %d: %d corrections on clean state", d, w, st.CorrectionGates)
+			}
+		}
+		if out, err := p.ProbeZL(); err != nil || out != 0 {
+			t.Errorf("d=%d: Z_L probe = %d err=%v", d, out, err)
+		}
+	}
+}
+
+func TestWindowsCorrectInjectedErrors(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		for q := 0; q < d*d; q++ {
+			ch := layers.NewChpCore(rand.New(rand.NewSource(int64(100 + q))))
+			p, err := NewPlane(ch, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.InitZero(); err != nil {
+				t.Fatal(err)
+			}
+			ch.Tableau().X(p.Data(q))
+			ch.Tableau().Z(p.Data((q + 1) % (d * d)))
+			for w := 0; w < 3; w++ {
+				if _, err := p.RunWindow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r, err := p.RunESMRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Clean() {
+				t.Errorf("d=%d: residual syndrome after correcting X(D%d),Z(D%d)", d, q, (q+1)%(d*d))
+			}
+			if out, _ := p.ProbeZL(); out != 0 {
+				t.Errorf("d=%d: logical flip from single X(D%d) + Z", d, q)
+			}
+		}
+	}
+}
+
+// TestD5ToleratesWeight2XChains: at d=5 every adjacent weight-2 X error
+// chain must be corrected without a logical flip (at d=3 some weight-2
+// chains are at half distance and may legitimately decode to a logical).
+func TestD5ToleratesWeight2XChains(t *testing.T) {
+	const d = 5
+	for q := 0; q < d*d; q++ {
+		for _, dq := range []int{1, d} {
+			q2 := q + dq
+			if q2 >= d*d || (dq == 1 && q%d == d-1) {
+				continue
+			}
+			ch := layers.NewChpCore(rand.New(rand.NewSource(int64(200 + q))))
+			p, err := NewPlane(ch, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.InitZero(); err != nil {
+				t.Fatal(err)
+			}
+			ch.Tableau().X(p.Data(q))
+			ch.Tableau().X(p.Data(q2))
+			for w := 0; w < 4; w++ {
+				if _, err := p.RunWindow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r, err := p.RunESMRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Clean() {
+				t.Errorf("residual syndrome for X chain D%d,D%d", q, q2)
+			}
+			if out, _ := p.ProbeZL(); out != 0 {
+				t.Errorf("logical flip from weight-2 X chain D%d,D%d at d=5", q, q2)
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	l, _ := NewLayout(3)
+	plain := l.Render(nil)
+	if !strings.Contains(plain, "D0") || !strings.Contains(plain, "D8") {
+		t.Errorf("render missing data qubits:\n%s", plain)
+	}
+	if strings.Count(plain, "X")+strings.Count(plain, "Z") < 8 {
+		t.Errorf("render missing checks:\n%s", plain)
+	}
+	if strings.Contains(plain, "!") {
+		t.Error("clean render should have no flags")
+	}
+	// Flag one check of each type.
+	r := Round{X: make([]bool, len(l.XChecks)), Z: make([]bool, len(l.ZChecks))}
+	r.X[0] = true
+	r.Z[1] = true
+	flagged := l.Render(&r)
+	if strings.Count(flagged, "!") != 2 {
+		t.Errorf("want 2 flags:\n%s", flagged)
+	}
+}
+
+func TestGreedyMatchLargeSyndrome(t *testing.T) {
+	// Force the greedy path with >10 flagged checks at d=7.
+	l, _ := NewLayout(7)
+	g := NewCheckGraph(l.ZChecks, l.NumData())
+	var fl []int
+	for i := 0; i < len(l.ZChecks) && len(fl) < 12; i += 2 {
+		fl = append(fl, i)
+	}
+	corr := g.Match(fl)
+	// The correction must exactly cancel the flagged set.
+	got := map[int]int{}
+	for _, cq := range corr {
+		for i, ck := range l.ZChecks {
+			if contains(ck.Support, cq) {
+				got[i]++
+			}
+		}
+	}
+	want := map[int]bool{}
+	for _, i := range fl {
+		want[i] = true
+	}
+	for i := range l.ZChecks {
+		parity := got[i]%2 == 1
+		if parity != want[i] {
+			t.Fatalf("greedy correction does not reproduce the syndrome at check %d", i)
+		}
+	}
+}

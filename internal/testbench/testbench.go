@@ -1,0 +1,259 @@
+// Package testbench implements the QPDO test-bench environment of thesis
+// §4.2.4: base machinery that runs a test procedure against any control
+// stack through the generic Core interface — looping for a configured
+// number of iterations, collecting outcomes, and reporting — plus the two
+// ready-to-use benches the thesis ships: the Bell-state histogram bench
+// and the gate-support bench.
+package testbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// Bench is one test bench: Setup runs once against a fresh stack,
+// Iteration runs repeatedly, Teardown summarizes.
+type Bench interface {
+	// Name labels the bench in reports.
+	Name() string
+	// Qubits is the register width the bench needs.
+	Qubits() int
+	// Iteration executes one trial on the stack and records its outcome.
+	Iteration(stack qpdo.Core, iter int) error
+	// Report renders the collected results.
+	Report() string
+	// Passed reports the overall verdict.
+	Passed() bool
+}
+
+// StackFactory builds a fresh control stack per iteration so trials are
+// independent (as the thesis benches re-initialize between runs).
+type StackFactory func(iteration int) (qpdo.Core, error)
+
+// Run drives a bench: it builds a stack, allocates qubits and executes
+// the configured number of iterations.
+func Run(b Bench, factory StackFactory, iterations int) error {
+	for it := 0; it < iterations; it++ {
+		stack, err := factory(it)
+		if err != nil {
+			return fmt.Errorf("testbench %s: building stack: %w", b.Name(), err)
+		}
+		if stack.NumQubits() < b.Qubits() {
+			if err := stack.CreateQubits(b.Qubits() - stack.NumQubits()); err != nil {
+				return fmt.Errorf("testbench %s: allocating qubits: %w", b.Name(), err)
+			}
+		}
+		if err := b.Iteration(stack, it); err != nil {
+			return fmt.Errorf("testbench %s: iteration %d: %w", b.Name(), it, err)
+		}
+	}
+	return nil
+}
+
+// BellStateHisto is the thesis' BellStateHistoTb: reset two qubits,
+// entangle them with H+CNOT, measure both and histogram the outcomes.
+// It passes when only correlated outcomes occur and both appear.
+type BellStateHisto struct {
+	// Counts maps "00"/"01"/"10"/"11" to frequencies.
+	Counts map[string]int
+}
+
+// NewBellStateHisto creates an empty bench.
+func NewBellStateHisto() *BellStateHisto {
+	return &BellStateHisto{Counts: map[string]int{}}
+}
+
+// Name implements Bench.
+func (b *BellStateHisto) Name() string { return "BellStateHistoTb" }
+
+// Qubits implements Bench.
+func (b *BellStateHisto) Qubits() int { return 2 }
+
+// Iteration implements Bench.
+func (b *BellStateHisto) Iteration(stack qpdo.Core, _ int) error {
+	c := circuit.New().
+		Add(gates.Prep, 0).Add(gates.Prep, 1).
+		Add(gates.H, 0).Add(gates.CNOT, 0, 1)
+	slot := c.AppendSlot()
+	c.AddToSlot(slot, gates.Measure, 0)
+	c.AddToSlot(slot, gates.Measure, 1)
+	res, err := qpdo.Run(stack, c)
+	if err != nil {
+		return err
+	}
+	b.Counts[fmt.Sprintf("%d%d", res.Last(0), res.Last(1))]++
+	return nil
+}
+
+// Report implements Bench.
+func (b *BellStateHisto) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Bell state histogram:\n")
+	for _, k := range []string{"00", "01", "10", "11"} {
+		fmt.Fprintf(&sb, "  |%s>  %d\n", k, b.Counts[k])
+	}
+	fmt.Fprintf(&sb, "verdict: %v\n", b.Passed())
+	return sb.String()
+}
+
+// Passed implements Bench: only |00⟩/|11⟩, and both observed.
+func (b *BellStateHisto) Passed() bool {
+	return b.Counts["01"] == 0 && b.Counts["10"] == 0 &&
+		b.Counts["00"] > 0 && b.Counts["11"] > 0
+}
+
+// GateSupport is the thesis' GateSupportTb: a predetermined script that
+// applies each gate of the QPDO vocabulary with a known input and
+// verifies the measured outcome, reporting which gates the control stack
+// supports and executes correctly.
+type GateSupport struct {
+	// Results maps gate names to outcomes.
+	Results map[gates.Name]GateResult
+}
+
+// GateResult is the verdict for one gate.
+type GateResult int
+
+// Gate verdicts.
+const (
+	GateUnsupported GateResult = iota
+	GateWrong
+	GateOK
+)
+
+// NewGateSupport creates an empty bench.
+func NewGateSupport() *GateSupport {
+	return &GateSupport{Results: map[gates.Name]GateResult{}}
+}
+
+// Name implements Bench.
+func (g *GateSupport) Name() string { return "GateSupportTb" }
+
+// Qubits implements Bench.
+func (g *GateSupport) Qubits() int { return 3 }
+
+// gateCheck prepares a deterministic input, applies the gate under test
+// and asserts the computational-basis outcome.
+type gateCheck struct {
+	gate  *gates.Gate
+	build func(c *circuit.Circuit)
+	// want maps measured qubits to expected values.
+	want map[int]int
+}
+
+func checks() []gateCheck {
+	return []gateCheck{
+		{gates.I, func(c *circuit.Circuit) { c.Add(gates.I, 0) }, map[int]int{0: 0}},
+		{gates.X, func(c *circuit.Circuit) { c.Add(gates.X, 0) }, map[int]int{0: 1}},
+		{gates.Y, func(c *circuit.Circuit) { c.Add(gates.Y, 0) }, map[int]int{0: 1}},
+		{gates.Z, func(c *circuit.Circuit) { c.Add(gates.X, 0).Add(gates.Z, 0) }, map[int]int{0: 1}},
+		{gates.H, func(c *circuit.Circuit) { c.Add(gates.H, 0).Add(gates.H, 0) }, map[int]int{0: 0}},
+		{gates.S, func(c *circuit.Circuit) {
+			c.Add(gates.H, 0).Add(gates.S, 0).Add(gates.S, 0).Add(gates.H, 0) // HZH = X
+		}, map[int]int{0: 1}},
+		{gates.Sdg, func(c *circuit.Circuit) {
+			c.Add(gates.H, 0).Add(gates.S, 0).Add(gates.Sdg, 0).Add(gates.H, 0)
+		}, map[int]int{0: 0}},
+		{gates.T, func(c *circuit.Circuit) {
+			c.Add(gates.H, 0)
+			for i := 0; i < 4; i++ {
+				c.Add(gates.T, 0) // T⁴ = Z
+			}
+			c.Add(gates.H, 0)
+		}, map[int]int{0: 1}},
+		{gates.Tdg, func(c *circuit.Circuit) {
+			c.Add(gates.H, 0).Add(gates.T, 0).Add(gates.Tdg, 0).Add(gates.H, 0)
+		}, map[int]int{0: 0}},
+		{gates.CNOT, func(c *circuit.Circuit) { c.Add(gates.X, 0).Add(gates.CNOT, 0, 1) }, map[int]int{0: 1, 1: 1}},
+		{gates.CZ, func(c *circuit.Circuit) {
+			// |+⟩|1⟩ → CZ → H on q0 gives |1⟩|1⟩.
+			c.Add(gates.H, 0).Add(gates.X, 1).Add(gates.CZ, 0, 1).Add(gates.H, 0)
+		}, map[int]int{0: 1, 1: 1}},
+		{gates.SWAP, func(c *circuit.Circuit) { c.Add(gates.X, 0).Add(gates.SWAP, 0, 1) }, map[int]int{0: 0, 1: 1}},
+		{gates.Toffoli, func(c *circuit.Circuit) {
+			c.Add(gates.X, 0).Add(gates.X, 1).Add(gates.Toffoli, 0, 1, 2)
+		}, map[int]int{2: 1}},
+	}
+}
+
+// Iteration implements Bench: the full predetermined script runs once
+// per iteration (the thesis bench is deterministic, one pass suffices).
+func (g *GateSupport) Iteration(stack qpdo.Core, _ int) error {
+	for _, ck := range checks() {
+		c := circuit.New()
+		for q := 0; q < 3; q++ {
+			c.Add(gates.Prep, q)
+		}
+		ck.build(c)
+		for q := range ck.want {
+			c.Add(gates.Measure, q)
+		}
+		res, err := qpdo.Run(stack, c)
+		if err != nil {
+			g.Results[ck.gate.Name] = GateUnsupported
+			continue
+		}
+		ok := true
+		for q, want := range ck.want {
+			if res.Last(q) != want {
+				ok = false
+			}
+		}
+		if ok {
+			g.Results[ck.gate.Name] = GateOK
+		} else {
+			g.Results[ck.gate.Name] = GateWrong
+		}
+	}
+	return nil
+}
+
+// Report implements Bench.
+func (g *GateSupport) Report() string {
+	names := make([]string, 0, len(g.Results))
+	for n := range g.Results {
+		names = append(names, string(n))
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("gate support report:\n")
+	for _, n := range names {
+		verdict := "unsupported"
+		switch g.Results[gates.Name(n)] {
+		case GateOK:
+			verdict = "ok"
+		case GateWrong:
+			verdict = "WRONG RESULT"
+		}
+		fmt.Fprintf(&sb, "  %-8s %s\n", n, verdict)
+	}
+	return sb.String()
+}
+
+// Passed implements Bench: no gate returned a wrong result (unsupported
+// gates are acceptable — a stabilizer back-end has no T).
+func (g *GateSupport) Passed() bool {
+	for _, r := range g.Results {
+		if r == GateWrong {
+			return false
+		}
+	}
+	return true
+}
+
+// Supported lists the gates that executed correctly.
+func (g *GateSupport) Supported() []gates.Name {
+	var out []gates.Name
+	for n, r := range g.Results {
+		if r == GateOK {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,84 @@
+// Package timing models the QEC scheduling benefit of a Pauli frame
+// (thesis §3.3, Fig 3.3): without a frame, every window must wait for
+// the decoder to finish and then spend a time slot applying corrections
+// before the next ESM round may start; with a frame, decoding proceeds
+// concurrently with the next ESM rounds and corrections cost nothing.
+// This is the paper's positive claim — the LER is unchanged (Chapter 5),
+// but the wall-clock schedule tightens and the decoder deadline relaxes.
+//
+// All durations are in abstract time-slot units (one physical operation
+// per slot, thesis Fig 4.4).
+package timing
+
+// Params describes one QEC configuration.
+type Params struct {
+	// TsESM is the number of time slots per ESM round (8 for SC17,
+	// thesis Table 5.8).
+	TsESM int
+	// RoundsPerWindow is the number of ESM rounds per window (d−1).
+	RoundsPerWindow int
+	// DecodeLatency is the decoder's running time in slots after the
+	// last syndrome of a window arrives.
+	DecodeLatency int
+	// CorrectionSlots is the cost of physically applying corrections
+	// (1 slot; 0 when a Pauli frame absorbs them).
+	CorrectionSlots int
+}
+
+// SC17 returns the thesis parameters for a distance-3 window.
+func SC17(decodeLatency int) Params {
+	return Params{TsESM: 8, RoundsPerWindow: 2, DecodeLatency: decodeLatency, CorrectionSlots: 1}
+}
+
+// WindowLatencyWithoutFrame is the serial schedule of thesis Fig 3.3a:
+// ESM rounds, then stall until decoding completes, then the correction
+// slot. The next window cannot start earlier because the corrections
+// must be physical before further syndromes are interpreted.
+func WindowLatencyWithoutFrame(p Params) int {
+	return p.RoundsPerWindow*p.TsESM + p.DecodeLatency + p.CorrectionSlots
+}
+
+// WindowLatencyWithFrame is the pipelined schedule of thesis Fig 3.3b:
+// the window occupies only its ESM rounds; decoding of window w runs
+// while window w+1 is already measuring, and corrections are classical
+// bookkeeping. The decoder only has to finish before its result is
+// needed — one full window later — so the schedule stalls only when
+// decoding takes longer than a whole window.
+func WindowLatencyWithFrame(p Params) int {
+	esm := p.RoundsPerWindow * p.TsESM
+	if p.DecodeLatency > esm {
+		return p.DecodeLatency
+	}
+	return esm
+}
+
+// SavedSlots is the per-window schedule improvement from the frame.
+func SavedSlots(p Params) int {
+	return WindowLatencyWithoutFrame(p) - WindowLatencyWithFrame(p)
+}
+
+// DecoderDeadlineWithoutFrame is the decode latency budget that keeps
+// the serial schedule from stalling at all: the decoder must finish
+// before the corrections are due, i.e. immediately (any latency extends
+// the window).
+func DecoderDeadlineWithoutFrame(Params) int { return 0 }
+
+// DecoderDeadlineWithFrame is the relaxed budget: a full window of ESM
+// time (thesis §3.3: "the new schedule also loosens the timing
+// constraint on the decoding process").
+func DecoderDeadlineWithFrame(p Params) int {
+	return p.RoundsPerWindow * p.TsESM
+}
+
+// Speedup is the throughput ratio of the two schedules (windows per unit
+// time with frame / without frame).
+func Speedup(p Params) float64 {
+	return float64(WindowLatencyWithoutFrame(p)) / float64(WindowLatencyWithFrame(p))
+}
+
+// LogicalOpsPerKSlot returns how many windows (each permitting one
+// logical operation, thesis Fig 2.6) fit into 1000 slots under each
+// schedule.
+func LogicalOpsPerKSlot(p Params) (without, with int) {
+	return 1000 / WindowLatencyWithoutFrame(p), 1000 / WindowLatencyWithFrame(p)
+}

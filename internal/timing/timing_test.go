@@ -1,0 +1,80 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSC17Schedules(t *testing.T) {
+	// Thesis Fig 3.3 with a decoder as fast as one ESM round (8 slots).
+	p := SC17(8)
+	if got := WindowLatencyWithoutFrame(p); got != 16+8+1 {
+		t.Errorf("serial window = %d, want 25", got)
+	}
+	if got := WindowLatencyWithFrame(p); got != 16 {
+		t.Errorf("pipelined window = %d, want 16", got)
+	}
+	if got := SavedSlots(p); got != 9 {
+		t.Errorf("saved slots = %d, want 9", got)
+	}
+	if s := Speedup(p); s < 1.5 || s > 1.6 {
+		t.Errorf("speedup = %v, want 25/16", s)
+	}
+}
+
+func TestZeroLatencyDecoder(t *testing.T) {
+	// Even an instantaneous decoder saves the correction slot.
+	p := SC17(0)
+	if got := SavedSlots(p); got != 1 {
+		t.Errorf("saved slots with ideal decoder = %d, want 1", got)
+	}
+}
+
+func TestSlowDecoderStallsPipelineToo(t *testing.T) {
+	// A decoder slower than a full window stalls even the pipelined
+	// schedule, but by less than the serial one.
+	p := SC17(40)
+	with := WindowLatencyWithFrame(p)
+	without := WindowLatencyWithoutFrame(p)
+	if with != 40 {
+		t.Errorf("pipelined window with slow decoder = %d, want 40", with)
+	}
+	if without != 16+40+1 {
+		t.Errorf("serial window with slow decoder = %d, want 57", without)
+	}
+}
+
+func TestDecoderDeadlines(t *testing.T) {
+	p := SC17(8)
+	if DecoderDeadlineWithoutFrame(p) != 0 {
+		t.Error("serial schedule tolerates no decode latency without stalling")
+	}
+	if got := DecoderDeadlineWithFrame(p); got != 16 {
+		t.Errorf("relaxed deadline = %d, want 16 (one full window)", got)
+	}
+}
+
+func TestLogicalOpsPerKSlot(t *testing.T) {
+	without, with := LogicalOpsPerKSlot(SC17(8))
+	if without != 40 || with != 62 {
+		t.Errorf("logical ops per 1000 slots = %d/%d, want 40/62", without, with)
+	}
+}
+
+// Property: the frame never makes the schedule worse, and the saving is
+// bounded by decode latency + correction slots.
+func TestFrameNeverHurtsProperty(t *testing.T) {
+	f := func(esm, rounds, decode uint8) bool {
+		p := Params{
+			TsESM:           int(esm%16) + 1,
+			RoundsPerWindow: int(rounds%6) + 1,
+			DecodeLatency:   int(decode % 64),
+			CorrectionSlots: 1,
+		}
+		saved := SavedSlots(p)
+		return saved >= 1 && saved <= p.DecodeLatency+p.CorrectionSlots
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
