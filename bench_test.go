@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -282,6 +284,35 @@ func BenchmarkFutureWorkDistance(b *testing.B) {
 	}
 	logSeries(b, "fw-d5", "future work: d=5 window (4 rounds, 49 data qubits); PF ceiling %.2f%%",
 		100*experiments.UpperBoundRelativeImprovement(5, 8))
+}
+
+// BenchmarkParallelSweep compares the Monte-Carlo sweep at Workers=1
+// against Workers=NumCPU on the same (point × sample) grid — the
+// wall-clock ratio is the parallel engine's speedup (ideally ≈ core
+// count; the outputs are bit-identical either way).
+func BenchmarkParallelSweep(b *testing.B) {
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.RunSweep(experiments.SweepConfig{
+					PERs:             []float64{3e-3, 5e-3, 8e-3},
+					Samples:          4,
+					MaxLogicalErrors: 3,
+					MaxWindows:       20000,
+					BaseSeed:         2017,
+					Workers:          workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pts) != 3 {
+					b.Fatalf("sweep points: %d", len(pts))
+				}
+			}
+		}
+	}
+	b.Run("workers=1", bench(1))
+	b.Run(fmt.Sprintf("workers=%d", runtime.NumCPU()), bench(runtime.NumCPU()))
 }
 
 // --- substrate and ablation benchmarks -------------------------------

@@ -18,26 +18,27 @@ func main() {
 	errors := flag.Int("errors", 15, "logical errors per run")
 	maxWindows := flag.Int("maxwindows", 200000, "window cap")
 	seed := flag.Int64("seed", 77, "base seed")
+	workers := flag.Int("workers", 0, "worker pool size, one run per configuration (0 = all CPUs); results are identical for any value")
 	flag.Parse()
 
 	fmt.Printf("two-star computation (windows + CNOT_L cycles) at PER=%g\n\n", *per)
 	fmt.Printf("%-12s %-10s %-12s %-14s %-14s\n",
 		"config", "windows", "LER", "corr_gates", "slots_saved%")
+	without, with, err := experiments.RunComputationLERPair(experiments.ComputationLERConfig{
+		PER:              *per,
+		MaxLogicalErrors: *errors,
+		MaxWindows:       *maxWindows,
+		Seed:             *seed,
+		Workers:          *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compute:", err)
+		os.Exit(1)
+	}
 	var lers [2]float64
-	for i, withPF := range []bool{false, true} {
-		r, err := experiments.RunComputationLER(experiments.ComputationLERConfig{
-			PER:              *per,
-			WithPauliFrame:   withPF,
-			MaxLogicalErrors: *errors,
-			MaxWindows:       *maxWindows,
-			Seed:             *seed + int64(i),
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "compute:", err)
-			os.Exit(1)
-		}
+	for i, r := range []experiments.LERResult{without, with} {
 		name := "no frame"
-		if withPF {
+		if i == 1 {
 			name = "pauli frame"
 		}
 		fmt.Printf("%-12s %-10d %-12.3e %-14d %-14.3f\n",

@@ -22,29 +22,36 @@ func main() {
 	maxWindows := flag.Int("maxwindows", 400000, "window cap")
 	pf := flag.Bool("pf", true, "include the Pauli frame (for the savings columns)")
 	seed := flag.Int64("seed", 33, "base seed")
+	workers := flag.Int("workers", 0, "worker pool size, one run per distance (0 = all CPUs); results are identical for any value")
 	flag.Parse()
 
-	fmt.Printf("distance scaling at PER=%g (windows are (d−1) ESM rounds long)\n\n", *per)
-	fmt.Printf("%-4s %-10s %-12s %-14s %-14s %-12s %-12s\n",
-		"d", "windows", "LER", "LER/round", "slots_saved%", "bound_%", "gates_saved%")
+	var ds []int
 	for _, tok := range strings.Split(*distances, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsweep:", err)
 			os.Exit(2)
 		}
-		r, err := experiments.RunGenericLER(experiments.GenericLERConfig{
-			Distance:         d,
-			PER:              *per,
-			WithPauliFrame:   *pf,
-			MaxLogicalErrors: *errors,
-			MaxWindows:       *maxWindows,
-			Seed:             *seed + int64(d),
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsweep:", err)
-			os.Exit(1)
-		}
+		ds = append(ds, d)
+	}
+
+	fmt.Printf("distance scaling at PER=%g (windows are (d−1) ESM rounds long)\n\n", *per)
+	results, err := experiments.RunGenericLERSweep(experiments.GenericLERConfig{
+		PER:              *per,
+		WithPauliFrame:   *pf,
+		MaxLogicalErrors: *errors,
+		MaxWindows:       *maxWindows,
+		Seed:             *seed,
+		Workers:          *workers,
+	}, ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-4s %-10s %-12s %-14s %-14s %-12s %-12s\n",
+		"d", "windows", "LER", "LER/round", "slots_saved%", "bound_%", "gates_saved%")
+	for i, d := range ds {
+		r := results[i]
 		bound := experiments.UpperBoundRelativeImprovement(d, 8)
 		fmt.Printf("%-4d %-10d %-12.3e %-14.3e %-14.4f %-12.4f %-12.4f\n",
 			d, r.Windows, r.LER, r.LER/float64(d-1),

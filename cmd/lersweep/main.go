@@ -27,6 +27,7 @@ func main() {
 	errors := flag.Int("errors", 20, "logical errors per run before termination (thesis: 50)")
 	maxWindows := flag.Int("maxwindows", 400000, "hard cap on windows per run")
 	seed := flag.Int64("seed", 2017, "base RNG seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
 	csvPath := flag.String("csv", "", "also write CSV to this file (suffix _pf/_nopf added in both mode)")
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		MaxLogicalErrors: *errors,
 		MaxWindows:       *maxWindows,
 		BaseSeed:         *seed,
+		Workers:          *workers,
 		Progress: func(i int, per float64) {
 			fmt.Fprintf(os.Stderr, "  point %d/%d (PER=%.3e) done\n", i+1, *points, per)
 		},

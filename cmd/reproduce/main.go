@@ -40,6 +40,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "smoke, quick or thesis")
 	out := flag.String("o", "", "write the markdown report here (default stdout)")
 	seed := flag.Int64("seed", 2017, "base seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
 	flag.Parse()
 	sc, ok := scales[*scaleName]
 	if !ok {
@@ -109,6 +110,7 @@ func main() {
 		MaxLogicalErrors: sc.errors,
 		MaxWindows:       sc.maxWindows,
 		BaseSeed:         *seed,
+		Workers:          *workers,
 		Progress: func(i int, per float64) {
 			fmt.Fprintf(os.Stderr, "  LER point %d/%d (PER=%.2e)\n", i+1, sc.points, per)
 		},

@@ -22,6 +22,7 @@ func main() {
 	maxWindows := flag.Int("maxwindows", 250000, "window cap per run")
 	etype := flag.String("type", "x", "logical error type: x or z")
 	seed := flag.Int64("seed", 99, "base seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
 	flag.Parse()
 
 	lo, hi := 1e-4, 1e-2
@@ -41,6 +42,7 @@ func main() {
 		MaxLogicalErrors: *errors,
 		MaxWindows:       *maxWindows,
 		BaseSeed:         *seed,
+		Workers:          *workers,
 		Progress: func(i int, per float64) {
 			fmt.Fprintf(os.Stderr, "  point %d/%d (PER=%.3e)\n", i+1, *points, per)
 		},

@@ -24,6 +24,11 @@ type ComputationLERConfig struct {
 	MaxWindows       int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the pool of the configuration-parallel driver
+	// built on this config (RunComputationLERPair); RunComputationLER
+	// itself is a single sequential trajectory. Zero means
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (c ComputationLERConfig) withDefaults() ComputationLERConfig {

@@ -24,6 +24,10 @@ type GenericLERConfig struct {
 	MaxWindows       int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the pool of the distance-parallel driver built on
+	// this config (RunGenericLERSweep); RunGenericLER itself is a
+	// single sequential trajectory. Zero means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (c GenericLERConfig) withDefaults() GenericLERConfig {

@@ -61,6 +61,10 @@ type LERConfig struct {
 	Model *layers.Model
 	// Seed drives all randomness of the run.
 	Seed int64
+	// Workers bounds the pool of sample-parallel drivers built on this
+	// config (RunLERSamples); RunLER itself is a single sequential
+	// trajectory. Zero means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (c LERConfig) withDefaults() LERConfig {
@@ -286,35 +290,74 @@ type SweepConfig struct {
 	MaxLogicalErrors int
 	MaxWindows       int
 	BaseSeed         int64
-	// Progress, when non-nil, receives one call per completed point.
+	// Workers bounds the Monte-Carlo worker pool. Zero means
+	// runtime.GOMAXPROCS(0); the results are bit-identical for any
+	// value because every (point × sample) run derives its own RNG from
+	// BaseSeed via ShardSeed.
+	Workers int
+	// Progress, when non-nil, receives one call per completed point, in
+	// ascending point order, serialized through a single collector
+	// goroutine (safe to use from the cmd/ tools without locking).
 	Progress func(point int, per float64)
 }
 
-// RunSweep executes repeated LER runs over a PER range.
+// RunSweep executes repeated LER runs over a PER range. The (point ×
+// sample) runs are independent — each owns a private simulator stack
+// and an RNG seeded by ShardSeed(BaseSeed, point, sample) — and are
+// fanned out over a bounded worker pool; results are gathered in
+// deterministic (point, sample) order.
 func RunSweep(cfg SweepConfig) ([]PointResult, error) {
-	out := make([]PointResult, 0, len(cfg.PERs))
+	points, samples := len(cfg.PERs), cfg.Samples
+	if samples < 0 {
+		samples = 0
+	}
+	runs := make([][]LERResult, points)
+	for i := range runs {
+		runs[i] = make([]LERResult, samples)
+	}
+
+	var progress *progressCollector
+	if cfg.Progress != nil && samples > 0 {
+		progress = newProgressCollector(cfg.PERs, samples, cfg.Progress)
+	}
+	err := forEachShard(points*samples, resolveWorkers(cfg.Workers), func(k int) error {
+		i, s := k/samples, k%samples
+		r, err := RunLER(LERConfig{
+			PER:              cfg.PERs[i],
+			ErrorType:        cfg.ErrorType,
+			WithPauliFrame:   cfg.WithPauliFrame,
+			MaxLogicalErrors: cfg.MaxLogicalErrors,
+			MaxWindows:       cfg.MaxWindows,
+			Seed:             ShardSeed(cfg.BaseSeed, i, s),
+		})
+		if err != nil {
+			return err
+		}
+		runs[i][s] = r
+		if progress != nil {
+			progress.sampleDone(i)
+		}
+		return nil
+	})
+	if progress != nil {
+		progress.close()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]PointResult, 0, points)
 	for i, per := range cfg.PERs {
 		pt := PointResult{PER: per}
-		for s := 0; s < cfg.Samples; s++ {
-			r, err := RunLER(LERConfig{
-				PER:              per,
-				ErrorType:        cfg.ErrorType,
-				WithPauliFrame:   cfg.WithPauliFrame,
-				MaxLogicalErrors: cfg.MaxLogicalErrors,
-				MaxWindows:       cfg.MaxWindows,
-				Seed:             cfg.BaseSeed + int64(i*1000+s),
-			})
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range runs[i] {
 			pt.LERs = append(pt.LERs, r.LER)
 			pt.WindowCounts = append(pt.WindowCounts, float64(r.Windows))
 			pt.GatesSaved = append(pt.GatesSaved, r.GatesSavedFrac())
 			pt.SlotsSaved = append(pt.SlotsSaved, r.SlotsSavedFrac())
 		}
 		out = append(out, pt)
-		if cfg.Progress != nil {
-			cfg.Progress(i, per)
+		if cfg.Progress != nil && samples == 0 {
+			cfg.Progress(i, per) // degenerate sweep: keep the per-point contract
 		}
 	}
 	return out, nil
