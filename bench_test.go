@@ -378,6 +378,46 @@ func BenchmarkCHPMeasure(b *testing.B) {
 	}
 }
 
+// BenchmarkCHPTransposedGates exercises the word-parallel gate kernels of
+// the column-major tableau across representative sizes, including ones
+// whose 2n+1 rows span multiple 64-bit column words (n ≥ 32).
+func BenchmarkCHPTransposedGates(b *testing.B) {
+	for _, n := range []int{17, 49, 81} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := chp.New(n, rand.New(rand.NewSource(1)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.H(i % n)
+				t.CNOT(i%n, (i+1)%n)
+				t.S((i + 2) % n)
+				t.Sdg((i + 3) % n)
+				t.CZ(i%n, (i+5)%n)
+			}
+		})
+	}
+}
+
+// BenchmarkCHPTransposedMeasure exercises both measurement branches of
+// the column-major tableau: the H-then-measure loop takes the random
+// (word-parallel batch absorb) branch, the re-measure the deterministic
+// (per-column popcount) branch.
+func BenchmarkCHPTransposedMeasure(b *testing.B) {
+	for _, n := range []int{17, 49, 81} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := chp.New(n, rand.New(rand.NewSource(1)))
+			for q := 0; q < n; q++ {
+				t.H(q)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.H(i % n)
+				t.MeasureBit(i % n)
+				t.MeasureBit(i % n)
+			}
+		})
+	}
+}
+
 // BenchmarkStatevecGate measures state-vector gate application at the
 // 17-qubit plane size.
 func BenchmarkStatevecGate(b *testing.B) {

@@ -1,0 +1,63 @@
+package chp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+// entangled returns a tableau scrambled by a fixed random Clifford
+// circuit, so stabilizer rows have realistic weight.
+func entangled(n int) *Tableau {
+	t := New(n, rand.New(rand.NewSource(7)))
+	drv := rand.New(rand.NewSource(13))
+	for k := 0; k < 6*n; k++ {
+		a := drv.Intn(n)
+		b := (a + 1 + drv.Intn(n-1)) % n
+		switch drv.Intn(3) {
+		case 0:
+			t.H(a)
+		case 1:
+			t.S(a)
+		case 2:
+			t.CNOT(a, b)
+		}
+	}
+	return t
+}
+
+// BenchmarkStabilizerInto measures the allocation-free row-extraction
+// path (the former rowToPauliString hot spot, which allocated a
+// map[int]pauli.Pauli per row).
+func BenchmarkStabilizerInto(b *testing.B) {
+	t := entangled(17)
+	var d pauli.Dense
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.StabilizerInto(i%17, &d)
+	}
+}
+
+// BenchmarkStabilizers measures full stabilizer-set extraction as used by
+// pfverify-style state dumps.
+func BenchmarkStabilizers(b *testing.B) {
+	t := entangled(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Stabilizers()
+	}
+}
+
+// BenchmarkCanonicalCompare measures the canonical-form state comparison
+// (Gaussian elimination on gathered rows) used by verification tests.
+func BenchmarkCanonicalCompare(b *testing.B) {
+	t := entangled(17)
+	u := t.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Equal(t, u) {
+			b.Fatal("states diverged")
+		}
+	}
+}

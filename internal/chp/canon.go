@@ -6,15 +6,17 @@ import (
 	"repro/internal/pauli"
 )
 
-// packedRow is a standalone Pauli row used for canonicalization and
-// stabilizer-group membership queries.
+// packedRow is a standalone qubit-major Pauli row used for
+// canonicalization and stabilizer-group membership queries. The tableau
+// itself is column-major (row bits scattered across per-qubit planes), so
+// rows are gathered into this layout before Gaussian elimination.
 type packedRow struct {
 	x, z []uint64
 	r    uint8
 }
 
 func (t *Tableau) packString(ps pauli.PauliString) packedRow {
-	row := packedRow{x: make([]uint64, t.words), z: make([]uint64, t.words)}
+	row := packedRow{x: make([]uint64, t.qWords), z: make([]uint64, t.qWords)}
 	if ps.Negative {
 		row.r = 1
 	}
@@ -30,19 +32,28 @@ func (t *Tableau) packString(ps pauli.PauliString) packedRow {
 	return row
 }
 
-// anticommutesWithRow reports whether the packed row anti-commutes with
-// tableau row i.
-func (t *Tableau) anticommutesWithRow(row packedRow, i int) bool {
-	parity := 0
-	for w := 0; w < t.words; w++ {
-		parity ^= bits.OnesCount64(row.x[w]&t.z[i][w]) & 1
-		parity ^= bits.OnesCount64(row.z[w]&t.x[i][w]) & 1
+// gatherRow collects tableau row ri from the column planes into a
+// freshly allocated qubit-major packedRow.
+func (t *Tableau) gatherRow(ri int) packedRow {
+	row := packedRow{x: make([]uint64, t.qWords), z: make([]uint64, t.qWords)}
+	w, b := ri>>6, uint64(1)<<uint(ri&63)
+	rw := t.rowWords
+	for q := 0; q < t.n; q++ {
+		if t.xz[2*q*rw+w]&b != 0 {
+			row.x[q/64] |= 1 << uint(q%64)
+		}
+		if t.xz[(2*q+1)*rw+w]&b != 0 {
+			row.z[q/64] |= 1 << uint(q%64)
+		}
 	}
-	return parity == 1
+	if t.sign[w]&b != 0 {
+		row.r = 1
+	}
+	return row
 }
 
 // mulRow multiplies packed row h by packed row i in place (h ← h·i) with
-// the same phase bookkeeping as Tableau.rowsum.
+// the same phase bookkeeping as the Aaronson–Gottesman rowsum.
 func mulRow(h, i *packedRow) {
 	sum := 2*int(h.r) + 2*int(i.r)
 	for w := range h.x {
@@ -98,17 +109,20 @@ func (r packedRow) equal(o packedRow) bool {
 func (t *Tableau) canonicalRows() []packedRow {
 	rows := make([]packedRow, t.n)
 	for i := 0; i < t.n; i++ {
-		rows[i] = packedRow{
-			x: append([]uint64(nil), t.x[t.n+i]...),
-			z: append([]uint64(nil), t.z[t.n+i]...),
-			r: t.r[t.n+i],
-		}
+		rows[i] = t.gatherRow(t.n + i)
 	}
+	return canonicalize(rows, t.n)
+}
+
+// canonicalize row-reduces n stabilizer generators in place and returns
+// them. Shared by the transposed tableau and the row-major Reference so
+// differential tests compare like with like.
+func canonicalize(rows []packedRow, n int) []packedRow {
 	pivot := 0
 	// X block.
-	for q := 0; q < t.n; q++ {
+	for q := 0; q < n; q++ {
 		found := -1
-		for i := pivot; i < t.n; i++ {
+		for i := pivot; i < n; i++ {
 			if rows[i].getX(q) {
 				found = i
 				break
@@ -118,7 +132,7 @@ func (t *Tableau) canonicalRows() []packedRow {
 			continue
 		}
 		rows[pivot], rows[found] = rows[found], rows[pivot]
-		for i := 0; i < t.n; i++ {
+		for i := 0; i < n; i++ {
 			if i != pivot && rows[i].getX(q) {
 				mulRow(&rows[i], &rows[pivot])
 			}
@@ -126,9 +140,9 @@ func (t *Tableau) canonicalRows() []packedRow {
 		pivot++
 	}
 	// Z block on the remaining rows (which now have no X components).
-	for q := 0; q < t.n; q++ {
+	for q := 0; q < n; q++ {
 		found := -1
-		for i := pivot; i < t.n; i++ {
+		for i := pivot; i < n; i++ {
 			if rows[i].getZ(q) && !anyX(rows[i]) {
 				found = i
 				break
@@ -138,7 +152,7 @@ func (t *Tableau) canonicalRows() []packedRow {
 			continue
 		}
 		rows[pivot], rows[found] = rows[found], rows[pivot]
-		for i := 0; i < t.n; i++ {
+		for i := 0; i < n; i++ {
 			if i != pivot && !anyX(rows[i]) && rows[i].getZ(q) {
 				mulRow(&rows[i], &rows[pivot])
 			}
@@ -177,33 +191,56 @@ func Equal(a, b *Tableau) bool {
 // current state: +1 or −1 when the string is (up to sign) in the
 // stabilizer group (deterministic = true), and deterministic = false when
 // the string anti-commutes with some stabilizer (expectation zero).
+//
+// In the column-major layout the whole query is bit-sliced across rows:
+// one XOR-accumulated plane carries the anti-commutation parity of every
+// row with ps at once, and the selected stabilizer product's sign comes
+// from the same per-column phase formula as deterministic measurement.
 func (t *Tableau) ExpectPauli(ps pauli.PauliString) (value int, deterministic bool) {
-	row := t.packString(ps)
-	for i := t.n; i < 2*t.n; i++ {
-		if t.anticommutesWithRow(row, i) {
+	n, rw := t.n, t.rowWords
+	// a[i] = parity of anti-commutations of row i with ps.
+	a := t.s0
+	for w := 0; w < rw; w++ {
+		a[w] = 0
+	}
+	for q, p := range ps.Ops {
+		t.check(q)
+		if p.HasX() {
+			zc := t.zcol(q)
+			for w := 0; w < rw; w++ {
+				a[w] ^= zc[w]
+			}
+		}
+		if p.HasZ() {
+			xc := t.xcol(q)
+			for w := 0; w < rw; w++ {
+				a[w] ^= xc[w]
+			}
+		}
+	}
+	for w := 0; w < rw; w++ {
+		if a[w]&t.stabMask[w] != 0 {
 			return 0, false
 		}
 	}
-	// Accumulate the product of stabilizers selected by anti-commuting
-	// destabilizers.
-	acc := packedRow{x: make([]uint64, t.words), z: make([]uint64, t.words)}
-	for i := 0; i < t.n; i++ {
-		if t.anticommutesWithRow(row, i) {
-			stab := packedRow{x: t.x[t.n+i], z: t.z[t.n+i], r: t.r[t.n+i]}
-			mulRow(&acc, &stab)
-		}
+	// Product of the stabilizers selected by anti-commuting destabilizers.
+	md := t.m
+	for w := 0; w < rw; w++ {
+		md[w] = a[w] & t.destabMask[w]
 	}
-	// acc must now equal the operator part of ps.
-	for w := 0; w < t.words; w++ {
-		if acc.x[w] != row.x[w] || acc.z[w] != row.z[w] {
-			// ps is not in the stabilizer group even though it commutes
-			// with all generators (possible only for mixed/partial
-			// states, which a tableau never represents) — treat as
-			// indeterminate.
+	ms := t.ms
+	shiftPlaneLeft(ms, md, n)
+	// The product's operator part must match ps on every column; a
+	// mismatch means ps commutes with the group without belonging to it.
+	for c := 0; c < n; c++ {
+		px, pz := t.productComponent(ms, c)
+		op := ps.Ops[c]
+		if px != op.HasX() || pz != op.HasZ() {
 			return 0, false
 		}
 	}
-	if acc.r == row.r {
+	prodNeg := t.productSignExponent(ms)>>1 == 1
+	if prodNeg == ps.Negative {
 		return 1, true
 	}
 	return -1, true

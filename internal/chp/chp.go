@@ -6,9 +6,21 @@
 // extraction and canonical-form state comparison.
 //
 // The tableau holds n destabilizer rows followed by n stabilizer rows,
-// each row a Pauli operator stored as bit-packed X and Z component words
-// plus a sign bit, exactly as in Aaronson & Gottesman, "Improved
-// simulation of stabilizer circuits" (2004).
+// each row a Pauli operator with a sign bit, as in Aaronson & Gottesman,
+// "Improved simulation of stabilizer circuits" (2004) — but stored
+// column-major (transposed): for every qubit the X and Z bits of all
+// 2n+1 rows are packed into []uint64 column words, and the sign bits of
+// all rows form one more bit-plane. A single-qubit Clifford gate touches
+// one column, so it collapses to a handful of word-wide boolean
+// operations over ceil((2n+1)/64) words instead of a loop over 2n rows;
+// for the 17-qubit ninja star (35 rows) every gate is a few single-word
+// operations. Measurement uses the same word-parallelism across rows: all
+// rows absorbing the pivot are multiplied simultaneously with a
+// bit-sliced mod-4 phase accumulator, and deterministic outcomes are
+// derived per column from popcounts and a carry-less prefix-parity
+// product. The row-major layout survives as the test-only Reference
+// implementation (reference.go), which the differential fuzz tests drive
+// in lockstep with this one.
 package chp
 
 import (
@@ -21,14 +33,25 @@ import (
 
 // Tableau is the stabilizer state of n qubits, initially |0...0⟩.
 type Tableau struct {
-	n     int
-	words int
-	// x[i] and z[i] are the X/Z component bitmasks of row i. Rows
-	// 0..n-1 are destabilizers, n..2n-1 stabilizers, row 2n is scratch.
-	x   [][]uint64
-	z   [][]uint64
-	r   []uint8 // sign bit per row: 0 → +1, 1 → −1
-	rng *rand.Rand
+	n        int
+	rowWords int // words per column bit-plane: ceil((2n+1)/64)
+	qWords   int // words per qubit-major packed row: ceil(n/64)
+	// xz holds 2n bit-planes of rowWords words each: plane 2q is the
+	// X column of qubit q (bit i = X component of row i), plane 2q+1
+	// its Z column. Rows 0..n-1 are destabilizers, n..2n-1 stabilizers,
+	// row 2n is scratch.
+	xz []uint64
+	// sign is the bit-plane of row signs: bit i set → row i carries −1.
+	sign []uint64
+	// stabMask/destabMask select the stabilizer (n..2n-1) and
+	// destabilizer (0..n-1) row ranges of a bit-plane.
+	stabMask, destabMask []uint64
+	rng                  *rand.Rand
+	// Preallocated measurement scratch planes (no per-measure allocs):
+	// m marks absorbing rows, ms selected stabilizer rows, s0/s1 are the
+	// low/high bits of the bit-sliced mod-4 phase accumulator.
+	m, ms, s0, s1 []uint64
+	dense         pauli.Dense // reusable row-extraction buffer
 }
 
 // New creates the all-zeros stabilizer state of n qubits. The RNG drives
@@ -37,19 +60,29 @@ func New(n int, rng *rand.Rand) *Tableau {
 	if n < 1 {
 		panic("chp: need at least one qubit")
 	}
-	w := (n + 63) / 64
-	t := &Tableau{n: n, words: w, rng: rng}
 	rows := 2*n + 1
-	t.x = make([][]uint64, rows)
-	t.z = make([][]uint64, rows)
-	t.r = make([]uint8, rows)
-	for i := range t.x {
-		t.x[i] = make([]uint64, w)
-		t.z[i] = make([]uint64, w)
+	rw := (rows + 63) / 64
+	t := &Tableau{
+		n:        n,
+		rowWords: rw,
+		qWords:   (n + 63) / 64,
+		xz:       make([]uint64, 2*n*rw),
+		sign:     make([]uint64, rw),
+		rng:      rng,
+		m:        make([]uint64, rw),
+		ms:       make([]uint64, rw),
+		s0:       make([]uint64, rw),
+		s1:       make([]uint64, rw),
+	}
+	t.stabMask = make([]uint64, rw)
+	t.destabMask = make([]uint64, rw)
+	for i := 0; i < n; i++ {
+		setPlaneBit(t.destabMask, i)
+		setPlaneBit(t.stabMask, n+i)
 	}
 	for q := 0; q < n; q++ {
-		t.x[q][q/64] |= 1 << uint(q%64)   // destabilizer q = X_q
-		t.z[n+q][q/64] |= 1 << uint(q%64) // stabilizer q = Z_q
+		setPlaneBit(t.xcol(q), q)   // destabilizer q = X_q
+		setPlaneBit(t.zcol(q), n+q) // stabilizer q = Z_q
 	}
 	return t
 }
@@ -63,79 +96,120 @@ func (t *Tableau) check(q int) {
 	}
 }
 
-func (t *Tableau) getBit(row []uint64, q int) bool {
-	return row[q/64]&(1<<uint(q%64)) != 0
+// xcol returns the X bit-plane of qubit q (one bit per row).
+func (t *Tableau) xcol(q int) []uint64 {
+	base := 2 * q * t.rowWords
+	return t.xz[base : base+t.rowWords : base+t.rowWords]
 }
 
-func (t *Tableau) setBit(row []uint64, q int, v bool) {
+// zcol returns the Z bit-plane of qubit q.
+func (t *Tableau) zcol(q int) []uint64 {
+	base := (2*q + 1) * t.rowWords
+	return t.xz[base : base+t.rowWords : base+t.rowWords]
+}
+
+func planeBit(p []uint64, i int) bool { return p[i>>6]&(1<<uint(i&63)) != 0 }
+func setPlaneBit(p []uint64, i int)   { p[i>>6] |= 1 << uint(i&63) }
+func clearPlaneBit(p []uint64, i int) { p[i>>6] &^= 1 << uint(i&63) }
+
+func setPlaneBitTo(p []uint64, i int, v bool) {
 	if v {
-		row[q/64] |= 1 << uint(q%64)
+		setPlaneBit(p, i)
 	} else {
-		row[q/64] &^= 1 << uint(q%64)
+		clearPlaneBit(p, i)
 	}
 }
 
-// H applies a Hadamard gate to qubit q.
+// shiftPlaneLeft writes dst = src << k across words (bits move toward
+// higher row indices).
+func shiftPlaneLeft(dst, src []uint64, k int) {
+	ws, bs := k>>6, uint(k&63)
+	for w := len(dst) - 1; w >= 0; w-- {
+		var v uint64
+		if sw := w - ws; sw >= 0 {
+			v = src[sw] << bs
+			if bs > 0 && sw > 0 {
+				v |= src[sw-1] >> (64 - bs)
+			}
+		}
+		dst[w] = v
+	}
+}
+
+// prefixParity64 returns the inclusive prefix parity of x: output bit i is
+// the parity of input bits 0..i (a carry-less multiply by all-ones).
+func prefixParity64(x uint64) uint64 {
+	x ^= x << 1
+	x ^= x << 2
+	x ^= x << 4
+	x ^= x << 8
+	x ^= x << 16
+	x ^= x << 32
+	return x
+}
+
+// The gate methods below touch only the columns of their operand qubits.
+// They deliberately include the scratch row (bit 2n) in the word-wide
+// updates: it is zeroed before every use, so stale bits are harmless.
+
+// H applies a Hadamard gate to qubit q: X↔Z per row, sign flips on Y.
 func (t *Tableau) H(q int) {
 	t.check(q)
-	w, m := q/64, uint64(1)<<uint(q%64)
-	for i := 0; i < 2*t.n; i++ {
-		xi, zi := t.x[i][w]&m, t.z[i][w]&m
-		if xi != 0 && zi != 0 {
-			t.r[i] ^= 1
-		}
-		t.x[i][w] = (t.x[i][w] &^ m) | zi
-		t.z[i][w] = (t.z[i][w] &^ m) | xi
+	x, z, s := t.xcol(q), t.zcol(q), t.sign
+	for w := range x {
+		xw, zw := x[w], z[w]
+		s[w] ^= xw & zw
+		x[w], z[w] = zw, xw
 	}
 }
 
-// S applies the phase gate to qubit q.
+// S applies the phase gate to qubit q: X→Y, Y→−X.
 func (t *Tableau) S(q int) {
 	t.check(q)
-	w, m := q/64, uint64(1)<<uint(q%64)
-	for i := 0; i < 2*t.n; i++ {
-		xi, zi := t.x[i][w]&m, t.z[i][w]&m
-		if xi != 0 && zi != 0 {
-			t.r[i] ^= 1
-		}
-		t.z[i][w] ^= xi
+	x, z, s := t.xcol(q), t.zcol(q), t.sign
+	for w := range x {
+		xw := x[w]
+		s[w] ^= xw & z[w]
+		z[w] ^= xw
 	}
 }
 
-// Sdg applies the inverse phase gate (S³).
-func (t *Tableau) Sdg(q int) { t.S(q); t.S(q); t.S(q) }
+// Sdg applies the inverse phase gate directly: X→−Y, Y→X.
+func (t *Tableau) Sdg(q int) {
+	t.check(q)
+	x, z, s := t.xcol(q), t.zcol(q), t.sign
+	for w := range x {
+		xw := x[w]
+		s[w] ^= xw &^ z[w]
+		z[w] ^= xw
+	}
+}
 
 // X applies a Pauli-X gate: conjugation flips the sign of rows with a Z
 // component on q.
 func (t *Tableau) X(q int) {
 	t.check(q)
-	w, m := q/64, uint64(1)<<uint(q%64)
-	for i := 0; i < 2*t.n; i++ {
-		if t.z[i][w]&m != 0 {
-			t.r[i] ^= 1
-		}
+	z, s := t.zcol(q), t.sign
+	for w := range z {
+		s[w] ^= z[w]
 	}
 }
 
 // Z applies a Pauli-Z gate.
 func (t *Tableau) Z(q int) {
 	t.check(q)
-	w, m := q/64, uint64(1)<<uint(q%64)
-	for i := 0; i < 2*t.n; i++ {
-		if t.x[i][w]&m != 0 {
-			t.r[i] ^= 1
-		}
+	x, s := t.xcol(q), t.sign
+	for w := range x {
+		s[w] ^= x[w]
 	}
 }
 
 // Y applies a Pauli-Y gate.
 func (t *Tableau) Y(q int) {
 	t.check(q)
-	w, m := q/64, uint64(1)<<uint(q%64)
-	for i := 0; i < 2*t.n; i++ {
-		if (t.x[i][w]&m != 0) != (t.z[i][w]&m != 0) {
-			t.r[i] ^= 1
-		}
+	x, z, s := t.xcol(q), t.zcol(q), t.sign
+	for w := range x {
+		s[w] ^= x[w] ^ z[w]
 	}
 }
 
@@ -146,129 +220,234 @@ func (t *Tableau) CNOT(c, d int) {
 	if c == d {
 		panic("chp: CNOT control equals target")
 	}
-	cw, cm := c/64, uint64(1)<<uint(c%64)
-	dw, dm := d/64, uint64(1)<<uint(d%64)
-	for i := 0; i < 2*t.n; i++ {
-		xc := t.x[i][cw]&cm != 0
-		zc := t.z[i][cw]&cm != 0
-		xd := t.x[i][dw]&dm != 0
-		zd := t.z[i][dw]&dm != 0
-		if xc && zd && (xd == zc) {
-			t.r[i] ^= 1
-		}
-		if xc {
-			t.x[i][dw] ^= dm
-		}
-		if zd {
-			t.z[i][cw] ^= cm
-		}
+	xc, zc := t.xcol(c), t.zcol(c)
+	xd, zd := t.xcol(d), t.zcol(d)
+	s := t.sign
+	for w := range xc {
+		xcw, zcw := xc[w], zc[w]
+		xdw, zdw := xd[w], zd[w]
+		s[w] ^= xcw & zdw &^ (xdw ^ zcw)
+		xd[w] = xdw ^ xcw
+		zc[w] = zcw ^ zdw
 	}
 }
 
-// CZ applies a controlled-Z gate (H on target, CNOT, H on target).
+// CZ applies a controlled-Z gate: X_a→X_aZ_b, X_b→X_bZ_a, sign flips on
+// X⊗X-type rows with unequal Z components (the H·CNOT·H composition
+// collapsed into one word-parallel pass).
 func (t *Tableau) CZ(a, b int) {
-	t.H(b)
-	t.CNOT(a, b)
-	t.H(b)
+	t.check(a)
+	t.check(b)
+	if a == b {
+		panic("chp: CZ control equals target")
+	}
+	xa, za := t.xcol(a), t.zcol(a)
+	xb, zb := t.xcol(b), t.zcol(b)
+	s := t.sign
+	for w := range xa {
+		xaw, zaw := xa[w], za[w]
+		xbw, zbw := xb[w], zb[w]
+		s[w] ^= xaw & xbw & (zaw ^ zbw)
+		za[w] = zaw ^ xbw
+		zb[w] = zbw ^ xaw
+	}
 }
 
-// SWAP exchanges two qubits (three CNOTs).
+// SWAP exchanges two qubits by swapping their column planes; no row sign
+// ever changes under relabeling.
 func (t *Tableau) SWAP(a, b int) {
-	t.CNOT(a, b)
-	t.CNOT(b, a)
-	t.CNOT(a, b)
-}
-
-// rowsum multiplies row h by row i (h ← h·i), maintaining the sign via
-// the Aaronson–Gottesman phase function g, evaluated bit-parallel per
-// 64-bit word.
-func (t *Tableau) rowsum(h, i int) {
-	sum := 2*int(t.r[h]) + 2*int(t.r[i])
-	for w := 0; w < t.words; w++ {
-		x1, z1 := t.x[h][w], t.z[h][w]
-		x2, z2 := t.x[i][w], t.z[i][w]
-		// g = +1 bit positions.
-		pos := (x1 & z1 & z2 &^ x2) | (x1 &^ z1 & z2 & x2) | (z1 &^ x1 & x2 &^ z2)
-		// g = −1 bit positions.
-		neg := (x1 & z1 & x2 &^ z2) | (x1 &^ z1 & z2 &^ x2) | (z1 &^ x1 & x2 & z2)
-		sum += bits.OnesCount64(pos) - bits.OnesCount64(neg)
-		t.x[h][w] = x1 ^ x2
-		t.z[h][w] = z1 ^ z2
+	t.check(a)
+	t.check(b)
+	if a == b {
+		return
 	}
-	sum %= 4
-	if sum < 0 {
-		sum += 4
+	xa, za := t.xcol(a), t.zcol(a)
+	xb, zb := t.xcol(b), t.zcol(b)
+	for w := range xa {
+		xa[w], xb[w] = xb[w], xa[w]
+		za[w], zb[w] = zb[w], za[w]
 	}
-	switch sum {
-	case 0:
-		t.r[h] = 0
-	case 2:
-		t.r[h] = 1
-	default:
-		panic("chp: rowsum phase is imaginary; tableau corrupted")
-	}
-}
-
-// zeroRow clears row h.
-func (t *Tableau) zeroRow(h int) {
-	for w := 0; w < t.words; w++ {
-		t.x[h][w] = 0
-		t.z[h][w] = 0
-	}
-	t.r[h] = 0
-}
-
-// copyRow copies row src into row dst.
-func (t *Tableau) copyRow(dst, src int) {
-	copy(t.x[dst], t.x[src])
-	copy(t.z[dst], t.z[src])
-	t.r[dst] = t.r[src]
 }
 
 // Measure performs a computational-basis measurement of qubit q,
 // returning 0 or 1 and whether the outcome was deterministic.
 func (t *Tableau) Measure(q int) (outcome int, deterministic bool) {
 	t.check(q)
-	w, m := q/64, uint64(1)<<uint(q%64)
-	// Look for a stabilizer row with an X component on q.
-	p := -1
-	for i := t.n; i < 2*t.n; i++ {
-		if t.x[i][w]&m != 0 {
-			p = i
-			break
+	x := t.xcol(q)
+	// Look for the first stabilizer row with an X component on q.
+	for w, word := range t.stabMask {
+		if word &= x[w]; word != 0 {
+			p := w<<6 + bits.TrailingZeros64(word)
+			return t.measureRandom(q, p), false
 		}
 	}
-	if p >= 0 {
-		// Random outcome: all other rows with x bit set absorb row p.
-		// Row p−n (the destabilizer partner of the pivot) is skipped: it
-		// is the one row that may anti-commute with row p — the product
-		// would carry an imaginary phase — and it is overwritten right
-		// below, so the multiplication is unnecessary.
-		for i := 0; i < 2*t.n; i++ {
-			if i != p && i != p-t.n && t.x[i][w]&m != 0 {
-				t.rowsum(i, p)
+	return t.measureDeterministic(q), true
+}
+
+// measureRandom handles the non-deterministic branch: every other row
+// with an X component on q absorbs pivot row p — all of them at once,
+// word-parallel across rows, with a bit-sliced mod-4 phase accumulator —
+// then the pivot pair is rewritten and the outcome drawn from the RNG.
+// The update is exactly the sequence of Aaronson–Gottesman rowsums of the
+// row-major layout (each absorbing row reads only itself and the
+// unchanged pivot), so seeded runs stay bit-for-bit reproducible.
+func (t *Tableau) measureRandom(q, p int) int {
+	n, rw := t.n, t.rowWords
+	d := p - n // destabilizer partner of the pivot
+	// Absorbing rows: X component on q, excluding the pivot, its partner
+	// (overwritten below; it may anti-commute with the pivot) and the
+	// scratch row.
+	m := t.m
+	copy(m, t.xcol(q))
+	clearPlaneBit(m, p)
+	clearPlaneBit(m, d)
+	clearPlaneBit(m, 2*n)
+	// Phase accumulator per absorbing row: sum = 2·r_h + 2·r_p + Σ g.
+	s0, s1 := t.s0, t.s1
+	rp := planeBit(t.sign, p)
+	for w := 0; w < rw; w++ {
+		s0[w] = 0
+		if rp {
+			s1[w] = ^t.sign[w]
+		} else {
+			s1[w] = t.sign[w]
+		}
+	}
+	pw, pb := p>>6, uint64(1)<<uint(p&63)
+	for c := 0; c < n; c++ {
+		xc, zc := t.xcol(c), t.zcol(c)
+		x2 := xc[pw]&pb != 0
+		z2 := zc[pw]&pb != 0
+		// Fold the pivot-pair rewrite into the same column pass: row p
+		// moves onto its destabilizer partner and is cleared. The
+		// absorbing mask excludes both rows, so the order is immaterial.
+		setPlaneBitTo(xc, d, x2)
+		clearPlaneBit(xc, p)
+		setPlaneBitTo(zc, d, z2)
+		clearPlaneBit(zc, p)
+		if !x2 && !z2 {
+			continue
+		}
+		for w := 0; w < rw; w++ {
+			mm := m[w]
+			x1, z1 := xc[w], zc[w]
+			// Specialize the Aaronson–Gottesman phase function g for the
+			// pivot's Pauli on this column (X, Z or Y).
+			var pos, neg uint64
+			switch {
+			case x2 && z2: // pivot has Y
+				pos, neg = x1&^z1, z1&^x1
+			case x2: // pivot has X
+				pos, neg = z1&^x1, x1&z1
+			default: // pivot has Z
+				pos, neg = x1&z1, x1&^z1
+			}
+			pos &= mm
+			neg &= mm
+			s1[w] ^= s0[w] & pos // sum += 1 on pos lanes
+			s0[w] ^= pos
+			s1[w] ^= ^s0[w] & neg // sum -= 1 on neg lanes
+			s0[w] ^= neg
+			if x2 {
+				xc[w] ^= mm
+			}
+			if z2 {
+				zc[w] ^= mm
 			}
 		}
-		t.copyRow(p-t.n, p)
-		t.zeroRow(p)
-		t.setBit(t.z[p], q, true)
-		out := 0
-		if t.rng.Intn(2) == 1 {
-			out = 1
-			t.r[p] = 1
-		}
-		return out, false
 	}
-	// Deterministic outcome: accumulate stabilizer rows whose
-	// destabilizer partner has an X component on q.
-	scratch := 2 * t.n
-	t.zeroRow(scratch)
-	for i := 0; i < t.n; i++ {
-		if t.x[i][w]&m != 0 {
-			t.rowsum(scratch, i+t.n)
+	for w := 0; w < rw; w++ {
+		if s0[w]&m[w] != 0 {
+			panic("chp: rowsum phase is imaginary; tableau corrupted")
 		}
+		t.sign[w] = t.sign[w]&^m[w] | s1[w]&m[w]
 	}
-	return int(t.r[scratch]), true
+	// The pivot pair: the partner inherits the pivot row (including its
+	// sign) and the pivot becomes ±Z_q with the drawn outcome.
+	setPlaneBitTo(t.sign, d, rp)
+	clearPlaneBit(t.sign, p)
+	setPlaneBit(t.zcol(q), p)
+	out := 0
+	if t.rng.Intn(2) == 1 {
+		out = 1
+		setPlaneBit(t.sign, p)
+	}
+	return out
+}
+
+// measureDeterministic evaluates the outcome without mutating the state:
+// the product of the stabilizer rows selected by destabilizers with an X
+// component on q is ±Z_q, and its sign is the outcome. Because distinct
+// columns commute, the sign of the ordered row product factors into
+// per-column phases, each computed word-parallel across all selected
+// rows from popcounts and a prefix-parity word.
+func (t *Tableau) measureDeterministic(q int) int {
+	n, rw := t.n, t.rowWords
+	md := t.m
+	xq := t.xcol(q)
+	for w := 0; w < rw; w++ {
+		md[w] = xq[w] & t.destabMask[w]
+	}
+	ms := t.ms
+	shiftPlaneLeft(ms, md, n)
+	return t.productSignExponent(ms) >> 1
+}
+
+// productSignExponent returns the i-exponent (0 or 2, i.e. sign + or −)
+// of the ordered product of the rows selected by the bit-plane mask ms,
+// multiplied in ascending row order. Panics when the exponent is odd,
+// which cannot happen for commuting selections. Writing each single-qubit
+// factor as σ = i^{xz}·X^x Z^z, the product over one column contributes
+//
+//	Σ_l x_l z_l  +  2·Σ_{j<l} z_j x_l  −  X·Z   (mod 4)
+//
+// with X = Σx_l, Z = Σz_l mod 2: the first term unpacks the Y factors,
+// the second counts the Z·X reorderings, the last renormalizes the
+// result. The middle sum needs only its parity, which one prefix-parity
+// word per 64 rows delivers without iterating the selected rows.
+func (t *Tableau) productSignExponent(ms []uint64) int {
+	n, rw := t.n, t.rowWords
+	e := 0
+	for w := 0; w < rw; w++ {
+		e += 2 * bits.OnesCount64(t.sign[w]&ms[w])
+	}
+	for c := 0; c < n; c++ {
+		xc, zc := t.xcol(c), t.zcol(c)
+		a, b := 0, 0
+		xp, zp := 0, 0
+		carry := uint64(0)
+		for w := 0; w < rw; w++ {
+			mx := xc[w] & ms[w]
+			mz := zc[w] & ms[w]
+			a += bits.OnesCount64(mx & mz)
+			strict := prefixParity64(mz)<<1 ^ carry
+			b ^= bits.OnesCount64(mx&strict) & 1
+			if bits.OnesCount64(mz)&1 == 1 {
+				carry = ^carry
+			}
+			xp += bits.OnesCount64(mx)
+			zp += bits.OnesCount64(mz)
+		}
+		e += a + 2*b + 3*(xp&1)*(zp&1)
+	}
+	e &= 3
+	if e&1 != 0 {
+		panic("chp: rowsum phase is imaginary; tableau corrupted")
+	}
+	return e
+}
+
+// productComponent reports the X/Z components on column c of the product
+// of the rows selected by ms (the XOR, i.e. popcount parity, of the
+// selected bits).
+func (t *Tableau) productComponent(ms []uint64, c int) (x, z bool) {
+	xc, zc := t.xcol(c), t.zcol(c)
+	xp, zp := 0, 0
+	for w := range ms {
+		xp ^= bits.OnesCount64(xc[w]&ms[w]) & 1
+		zp ^= bits.OnesCount64(zc[w]&ms[w]) & 1
+	}
+	return xp == 1, zp == 1
 }
 
 // MeasureBit measures and returns only the outcome.
@@ -286,40 +465,55 @@ func (t *Tableau) Reset(q int) {
 
 // Clone deep-copies the tableau (sharing the RNG).
 func (t *Tableau) Clone() *Tableau {
-	cp := &Tableau{n: t.n, words: t.words, rng: t.rng}
-	cp.x = make([][]uint64, len(t.x))
-	cp.z = make([][]uint64, len(t.z))
-	cp.r = append([]uint8(nil), t.r...)
-	for i := range t.x {
-		cp.x[i] = append([]uint64(nil), t.x[i]...)
-		cp.z[i] = append([]uint64(nil), t.z[i]...)
+	rw := t.rowWords
+	cp := &Tableau{
+		n:          t.n,
+		rowWords:   rw,
+		qWords:     t.qWords,
+		xz:         append([]uint64(nil), t.xz...),
+		sign:       append([]uint64(nil), t.sign...),
+		stabMask:   t.stabMask,
+		destabMask: t.destabMask,
+		rng:        t.rng,
+		m:          make([]uint64, rw),
+		ms:         make([]uint64, rw),
+		s0:         make([]uint64, rw),
+		s1:         make([]uint64, rw),
 	}
 	return cp
 }
 
-// rowToPauliString converts tableau row i into a PauliString.
-func (t *Tableau) rowToPauliString(i int) pauli.PauliString {
-	ops := map[int]pauli.Pauli{}
+// StabilizerInto gathers stabilizer generator i (0 ≤ i < n) into the
+// reusable dense buffer without allocating.
+func (t *Tableau) StabilizerInto(i int, d *pauli.Dense) {
+	t.rowInto(t.n+i, d)
+}
+
+// rowInto extracts tableau row ri into a dense buffer.
+func (t *Tableau) rowInto(ri int, d *pauli.Dense) {
+	d.Reset(t.n)
+	w, b := ri>>6, uint64(1)<<uint(ri&63)
+	rw := t.rowWords
+	base := w
 	for q := 0; q < t.n; q++ {
-		xb := t.getBit(t.x[i], q)
-		zb := t.getBit(t.z[i], q)
-		switch {
-		case xb && zb:
-			ops[q] = pauli.Y
-		case xb:
-			ops[q] = pauli.X
-		case zb:
-			ops[q] = pauli.Z
+		var p pauli.Pauli
+		if t.xz[2*q*rw+base]&b != 0 {
+			p = pauli.X
 		}
+		if t.xz[(2*q+1)*rw+base]&b != 0 {
+			p |= pauli.Z
+		}
+		d.Ops[q] = p
 	}
-	return pauli.PauliString{Ops: ops, Negative: t.r[i] == 1}
+	d.Negative = t.sign[w]&b != 0
 }
 
 // Stabilizers returns the current stabilizer generators as Pauli strings.
 func (t *Tableau) Stabilizers() []pauli.PauliString {
 	out := make([]pauli.PauliString, t.n)
 	for i := 0; i < t.n; i++ {
-		out[i] = t.rowToPauliString(t.n + i)
+		t.StabilizerInto(i, &t.dense)
+		out[i] = t.dense.Sparse()
 	}
 	return out
 }

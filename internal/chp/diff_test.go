@@ -1,0 +1,194 @@
+package chp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+// canonString renders a canonical row set for comparison/diagnostics.
+func canonString(rows []packedRow, n int) string {
+	s := ""
+	for _, r := range rows {
+		if r.r == 1 {
+			s += "-"
+		} else {
+			s += "+"
+		}
+		for q := 0; q < n; q++ {
+			switch {
+			case r.getX(q) && r.getZ(q):
+				s += "Y"
+			case r.getX(q):
+				s += "X"
+			case r.getZ(q):
+				s += "Z"
+			default:
+				s += "I"
+			}
+		}
+		s += "\n"
+	}
+	return s
+}
+
+func randomPauliString(rng *rand.Rand, n int) pauli.PauliString {
+	ops := map[int]pauli.Pauli{}
+	for q := 0; q < n; q++ {
+		switch rng.Intn(4) {
+		case 1:
+			ops[q] = pauli.X
+		case 2:
+			ops[q] = pauli.Y
+		case 3:
+			ops[q] = pauli.Z
+		}
+	}
+	return pauli.PauliString{Ops: ops, Negative: rng.Intn(2) == 1}
+}
+
+// TestDifferentialFuzz drives identical random Clifford+measure
+// sequences through the column-major Tableau and the row-major Reference
+// with identically seeded RNGs, asserting bit-identical measurement
+// outcomes, determinism flags, ExpectPauli values and canonical
+// stabilizer sets. Qubit counts are chosen to cross the 64-row word
+// boundary (2n+1 > 64 for n ≥ 32) and the 64-qubit column boundary.
+func TestDifferentialFuzz(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 31, 32, 33, 40, 64, 70} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			for trial := 0; trial < 6; trial++ {
+				seed := int64(1000*n + trial)
+				// Separate but identically seeded RNGs: both kernels must
+				// consume draws in the same order.
+				tab := New(n, rand.New(rand.NewSource(seed)))
+				ref := NewReference(n, rand.New(rand.NewSource(seed)))
+				drv := rand.New(rand.NewSource(seed * 7))
+				steps := 400
+				if n >= 40 {
+					steps = 150
+				}
+				for step := 0; step < steps; step++ {
+					a := drv.Intn(n)
+					b := a
+					if n > 1 {
+						b = (a + 1 + drv.Intn(n-1)) % n
+					}
+					op := drv.Intn(12)
+					switch op {
+					case 0:
+						tab.H(a)
+						ref.H(a)
+					case 1:
+						tab.S(a)
+						ref.S(a)
+					case 2:
+						tab.Sdg(a)
+						ref.Sdg(a)
+					case 3:
+						tab.X(a)
+						ref.X(a)
+					case 4:
+						tab.Y(a)
+						ref.Y(a)
+					case 5:
+						tab.Z(a)
+						ref.Z(a)
+					case 6:
+						if n > 1 {
+							tab.CNOT(a, b)
+							ref.CNOT(a, b)
+						}
+					case 7:
+						if n > 1 {
+							tab.CZ(a, b)
+							ref.CZ(a, b)
+						}
+					case 8:
+						if n > 1 {
+							tab.SWAP(a, b)
+							ref.SWAP(a, b)
+						}
+					case 9:
+						got, gdet := tab.Measure(a)
+						want, wdet := ref.Measure(a)
+						if got != want || gdet != wdet {
+							t.Fatalf("n=%d trial=%d step=%d: Measure(%d) transposed=(%d,%v) reference=(%d,%v)",
+								n, trial, step, a, got, gdet, want, wdet)
+						}
+					case 10:
+						tab.Reset(a)
+						ref.Reset(a)
+					case 11:
+						ps := randomPauliString(drv, n)
+						got, gdet := tab.ExpectPauli(ps)
+						want, wdet := ref.ExpectPauli(ps)
+						if got != want || gdet != wdet {
+							t.Fatalf("n=%d trial=%d step=%d: ExpectPauli(%s) transposed=(%d,%v) reference=(%d,%v)",
+								n, trial, step, ps, got, gdet, want, wdet)
+						}
+					}
+					if step%97 == 0 || step == steps-1 {
+						ct := canonString(tab.canonicalRows(), n)
+						cr := canonString(ref.canonicalRows(), n)
+						if ct != cr {
+							t.Fatalf("n=%d trial=%d step=%d: canonical stabilizers diverged\ntransposed:\n%s\nreference:\n%s",
+								n, trial, step, ct, cr)
+						}
+					}
+				}
+				// Final full-state checks: canonical sets already compared;
+				// also compare the raw stabilizer strings and a Clone.
+				st, sr := tab.Stabilizers(), ref.Stabilizers()
+				for i := range st {
+					if st[i].String() != sr[i].String() {
+						t.Fatalf("n=%d trial=%d: stabilizer %d mismatch: %s vs %s",
+							n, trial, i, st[i], sr[i])
+					}
+				}
+				if !Equal(tab, tab.Clone()) {
+					t.Fatalf("n=%d trial=%d: Clone not Equal to original", n, trial)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDeterministicMeasure focuses the deterministic branch:
+// entangled states where repeated measurement must give a fixed result
+// computed without mutation, compared against the Reference.
+func TestDifferentialDeterministicMeasure(t *testing.T) {
+	for _, n := range []int{2, 17, 33, 70} {
+		seed := int64(99 + n)
+		tab := New(n, rand.New(rand.NewSource(seed)))
+		ref := NewReference(n, rand.New(rand.NewSource(seed)))
+		// Build a random graph-state-like circuit, then measure everything
+		// twice: the second pass is fully deterministic on both kernels.
+		drv := rand.New(rand.NewSource(seed * 3))
+		for q := 0; q < n; q++ {
+			tab.H(q)
+			ref.H(q)
+		}
+		for k := 0; k < 3*n; k++ {
+			a := drv.Intn(n)
+			b := (a + 1 + drv.Intn(n-1)) % n
+			tab.CZ(a, b)
+			ref.CZ(a, b)
+		}
+		for pass := 0; pass < 2; pass++ {
+			for q := 0; q < n; q++ {
+				got, gdet := tab.Measure(q)
+				want, wdet := ref.Measure(q)
+				if got != want || gdet != wdet {
+					t.Fatalf("n=%d pass=%d qubit=%d: transposed=(%d,%v) reference=(%d,%v)",
+						n, pass, q, got, gdet, want, wdet)
+				}
+				if pass == 1 && !gdet {
+					t.Fatalf("n=%d qubit=%d: second-pass measurement not deterministic", n, q)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package chp
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/pauli"
+)
+
+// Reference is the original row-major bit-packed tableau, kept verbatim
+// as the differential-testing oracle for the column-major Tableau. It is
+// not used by any production code path: the fuzz tests drive identical
+// gate/measure sequences through both layouts and assert identical
+// outcomes, signs and canonical stabilizer sets. Do not optimize it —
+// its value is being the unchanged pre-transpose kernel.
+type Reference struct {
+	n     int
+	words int
+	// x[i] and z[i] are the X/Z component bitmasks of row i. Rows
+	// 0..n-1 are destabilizers, n..2n-1 stabilizers, row 2n is scratch.
+	x   [][]uint64
+	z   [][]uint64
+	r   []uint8 // sign bit per row: 0 → +1, 1 → −1
+	rng *rand.Rand
+}
+
+// NewReference creates the all-zeros row-major stabilizer state.
+func NewReference(n int, rng *rand.Rand) *Reference {
+	if n < 1 {
+		panic("chp: need at least one qubit")
+	}
+	w := (n + 63) / 64
+	t := &Reference{n: n, words: w, rng: rng}
+	rows := 2*n + 1
+	t.x = make([][]uint64, rows)
+	t.z = make([][]uint64, rows)
+	t.r = make([]uint8, rows)
+	for i := range t.x {
+		t.x[i] = make([]uint64, w)
+		t.z[i] = make([]uint64, w)
+	}
+	for q := 0; q < n; q++ {
+		t.x[q][q/64] |= 1 << uint(q%64)   // destabilizer q = X_q
+		t.z[n+q][q/64] |= 1 << uint(q%64) // stabilizer q = Z_q
+	}
+	return t
+}
+
+// NumQubits returns n.
+func (t *Reference) NumQubits() int { return t.n }
+
+func (t *Reference) check(q int) {
+	if q < 0 || q >= t.n {
+		panic(fmt.Sprintf("chp: qubit %d out of range [0,%d)", q, t.n))
+	}
+}
+
+func (t *Reference) getBit(row []uint64, q int) bool {
+	return row[q/64]&(1<<uint(q%64)) != 0
+}
+
+func (t *Reference) setBit(row []uint64, q int, v bool) {
+	if v {
+		row[q/64] |= 1 << uint(q%64)
+	} else {
+		row[q/64] &^= 1 << uint(q%64)
+	}
+}
+
+// H applies a Hadamard gate to qubit q.
+func (t *Reference) H(q int) {
+	t.check(q)
+	w, m := q/64, uint64(1)<<uint(q%64)
+	for i := 0; i < 2*t.n; i++ {
+		xi, zi := t.x[i][w]&m, t.z[i][w]&m
+		if xi != 0 && zi != 0 {
+			t.r[i] ^= 1
+		}
+		t.x[i][w] = (t.x[i][w] &^ m) | zi
+		t.z[i][w] = (t.z[i][w] &^ m) | xi
+	}
+}
+
+// S applies the phase gate to qubit q.
+func (t *Reference) S(q int) {
+	t.check(q)
+	w, m := q/64, uint64(1)<<uint(q%64)
+	for i := 0; i < 2*t.n; i++ {
+		xi, zi := t.x[i][w]&m, t.z[i][w]&m
+		if xi != 0 && zi != 0 {
+			t.r[i] ^= 1
+		}
+		t.z[i][w] ^= xi
+	}
+}
+
+// Sdg applies the inverse phase gate (S³).
+func (t *Reference) Sdg(q int) { t.S(q); t.S(q); t.S(q) }
+
+// X applies a Pauli-X gate.
+func (t *Reference) X(q int) {
+	t.check(q)
+	w, m := q/64, uint64(1)<<uint(q%64)
+	for i := 0; i < 2*t.n; i++ {
+		if t.z[i][w]&m != 0 {
+			t.r[i] ^= 1
+		}
+	}
+}
+
+// Z applies a Pauli-Z gate.
+func (t *Reference) Z(q int) {
+	t.check(q)
+	w, m := q/64, uint64(1)<<uint(q%64)
+	for i := 0; i < 2*t.n; i++ {
+		if t.x[i][w]&m != 0 {
+			t.r[i] ^= 1
+		}
+	}
+}
+
+// Y applies a Pauli-Y gate.
+func (t *Reference) Y(q int) {
+	t.check(q)
+	w, m := q/64, uint64(1)<<uint(q%64)
+	for i := 0; i < 2*t.n; i++ {
+		if (t.x[i][w]&m != 0) != (t.z[i][w]&m != 0) {
+			t.r[i] ^= 1
+		}
+	}
+}
+
+// CNOT applies a controlled-NOT with control c and target d.
+func (t *Reference) CNOT(c, d int) {
+	t.check(c)
+	t.check(d)
+	if c == d {
+		panic("chp: CNOT control equals target")
+	}
+	cw, cm := c/64, uint64(1)<<uint(c%64)
+	dw, dm := d/64, uint64(1)<<uint(d%64)
+	for i := 0; i < 2*t.n; i++ {
+		xc := t.x[i][cw]&cm != 0
+		zc := t.z[i][cw]&cm != 0
+		xd := t.x[i][dw]&dm != 0
+		zd := t.z[i][dw]&dm != 0
+		if xc && zd && (xd == zc) {
+			t.r[i] ^= 1
+		}
+		if xc {
+			t.x[i][dw] ^= dm
+		}
+		if zd {
+			t.z[i][cw] ^= cm
+		}
+	}
+}
+
+// CZ applies a controlled-Z gate (H on target, CNOT, H on target).
+func (t *Reference) CZ(a, b int) {
+	t.H(b)
+	t.CNOT(a, b)
+	t.H(b)
+}
+
+// SWAP exchanges two qubits (three CNOTs).
+func (t *Reference) SWAP(a, b int) {
+	t.CNOT(a, b)
+	t.CNOT(b, a)
+	t.CNOT(a, b)
+}
+
+// rowsum multiplies row h by row i (h ← h·i), maintaining the sign via
+// the Aaronson–Gottesman phase function g, evaluated bit-parallel per
+// 64-bit word.
+func (t *Reference) rowsum(h, i int) {
+	sum := 2*int(t.r[h]) + 2*int(t.r[i])
+	for w := 0; w < t.words; w++ {
+		x1, z1 := t.x[h][w], t.z[h][w]
+		x2, z2 := t.x[i][w], t.z[i][w]
+		pos := (x1 & z1 & z2 &^ x2) | (x1 &^ z1 & z2 & x2) | (z1 &^ x1 & x2 &^ z2)
+		neg := (x1 & z1 & x2 &^ z2) | (x1 &^ z1 & z2 &^ x2) | (z1 &^ x1 & x2 & z2)
+		sum += bits.OnesCount64(pos) - bits.OnesCount64(neg)
+		t.x[h][w] = x1 ^ x2
+		t.z[h][w] = z1 ^ z2
+	}
+	sum %= 4
+	if sum < 0 {
+		sum += 4
+	}
+	switch sum {
+	case 0:
+		t.r[h] = 0
+	case 2:
+		t.r[h] = 1
+	default:
+		panic("chp: rowsum phase is imaginary; tableau corrupted")
+	}
+}
+
+// zeroRow clears row h.
+func (t *Reference) zeroRow(h int) {
+	for w := 0; w < t.words; w++ {
+		t.x[h][w] = 0
+		t.z[h][w] = 0
+	}
+	t.r[h] = 0
+}
+
+// copyRow copies row src into row dst.
+func (t *Reference) copyRow(dst, src int) {
+	copy(t.x[dst], t.x[src])
+	copy(t.z[dst], t.z[src])
+	t.r[dst] = t.r[src]
+}
+
+// Measure performs a computational-basis measurement of qubit q.
+func (t *Reference) Measure(q int) (outcome int, deterministic bool) {
+	t.check(q)
+	w, m := q/64, uint64(1)<<uint(q%64)
+	p := -1
+	for i := t.n; i < 2*t.n; i++ {
+		if t.x[i][w]&m != 0 {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		for i := 0; i < 2*t.n; i++ {
+			if i != p && i != p-t.n && t.x[i][w]&m != 0 {
+				t.rowsum(i, p)
+			}
+		}
+		t.copyRow(p-t.n, p)
+		t.zeroRow(p)
+		t.setBit(t.z[p], q, true)
+		out := 0
+		if t.rng.Intn(2) == 1 {
+			out = 1
+			t.r[p] = 1
+		}
+		return out, false
+	}
+	scratch := 2 * t.n
+	t.zeroRow(scratch)
+	for i := 0; i < t.n; i++ {
+		if t.x[i][w]&m != 0 {
+			t.rowsum(scratch, i+t.n)
+		}
+	}
+	return int(t.r[scratch]), true
+}
+
+// MeasureBit measures and returns only the outcome.
+func (t *Reference) MeasureBit(q int) int {
+	out, _ := t.Measure(q)
+	return out
+}
+
+// Reset forces qubit q to |0⟩ by measuring and flipping when necessary.
+func (t *Reference) Reset(q int) {
+	if out, _ := t.Measure(q); out == 1 {
+		t.X(q)
+	}
+}
+
+// rowToPauliString converts tableau row i into a PauliString.
+func (t *Reference) rowToPauliString(i int) pauli.PauliString {
+	ops := map[int]pauli.Pauli{}
+	for q := 0; q < t.n; q++ {
+		xb := t.getBit(t.x[i], q)
+		zb := t.getBit(t.z[i], q)
+		switch {
+		case xb && zb:
+			ops[q] = pauli.Y
+		case xb:
+			ops[q] = pauli.X
+		case zb:
+			ops[q] = pauli.Z
+		}
+	}
+	return pauli.PauliString{Ops: ops, Negative: t.r[i] == 1}
+}
+
+// Stabilizers returns the current stabilizer generators as Pauli strings.
+func (t *Reference) Stabilizers() []pauli.PauliString {
+	out := make([]pauli.PauliString, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.rowToPauliString(t.n + i)
+	}
+	return out
+}
+
+// canonicalRows returns the canonical stabilizer generators, through the
+// same Gaussian elimination the transposed tableau uses.
+func (t *Reference) canonicalRows() []packedRow {
+	rows := make([]packedRow, t.n)
+	for i := 0; i < t.n; i++ {
+		rows[i] = packedRow{
+			x: append([]uint64(nil), t.x[t.n+i]...),
+			z: append([]uint64(nil), t.z[t.n+i]...),
+			r: t.r[t.n+i],
+		}
+	}
+	return canonicalize(rows, t.n)
+}
+
+// anticommutesWithRow reports whether the packed string anti-commutes
+// with tableau row i.
+func (t *Reference) anticommutesWithRow(row packedRow, i int) bool {
+	parity := 0
+	for w := 0; w < t.words; w++ {
+		parity ^= bits.OnesCount64(row.x[w]&t.z[i][w]) & 1
+		parity ^= bits.OnesCount64(row.z[w]&t.x[i][w]) & 1
+	}
+	return parity == 1
+}
+
+// ExpectPauli mirrors Tableau.ExpectPauli on the row-major layout.
+func (t *Reference) ExpectPauli(ps pauli.PauliString) (value int, deterministic bool) {
+	row := packedRow{x: make([]uint64, t.words), z: make([]uint64, t.words)}
+	if ps.Negative {
+		row.r = 1
+	}
+	for q, p := range ps.Ops {
+		t.check(q)
+		if p.HasX() {
+			row.x[q/64] |= 1 << uint(q%64)
+		}
+		if p.HasZ() {
+			row.z[q/64] |= 1 << uint(q%64)
+		}
+	}
+	for i := t.n; i < 2*t.n; i++ {
+		if t.anticommutesWithRow(row, i) {
+			return 0, false
+		}
+	}
+	acc := packedRow{x: make([]uint64, t.words), z: make([]uint64, t.words)}
+	for i := 0; i < t.n; i++ {
+		if t.anticommutesWithRow(row, i) {
+			stab := packedRow{x: t.x[t.n+i], z: t.z[t.n+i], r: t.r[t.n+i]}
+			mulRow(&acc, &stab)
+		}
+	}
+	for w := 0; w < t.words; w++ {
+		if acc.x[w] != row.x[w] || acc.z[w] != row.z[w] {
+			return 0, false
+		}
+	}
+	if acc.r == row.r {
+		return 1, true
+	}
+	return -1, true
+}

@@ -145,23 +145,35 @@ func (c *Circuit) MaxQubit() int {
 
 // Validate checks the time-slot discipline: within each slot no qubit may
 // appear in more than one operation, and no operation may repeat a qubit.
+// Slots are small (tens of qubits at most), so collisions are detected by
+// a linear scan over stack-allocated slices rather than maps — Validate
+// runs on every Add in the layer stack, and the per-slot map allocations
+// used to dominate the ESM-round profile.
 func (c *Circuit) Validate() error {
-	for si, s := range c.Slots {
-		seen := map[int]int{}
-		for oi, op := range s.Ops {
-			local := map[int]bool{}
+	var qbuf, obuf [64]int
+	for si := range c.Slots {
+		s := &c.Slots[si]
+		qs, os := qbuf[:0], obuf[:0]
+		for oi := range s.Ops {
+			op := &s.Ops[oi]
+			start := len(qs)
 			for _, q := range op.Qubits {
 				if q < 0 {
 					return fmt.Errorf("slot %d op %d: negative qubit %d", si, oi, q)
 				}
-				if local[q] {
-					return fmt.Errorf("slot %d op %d: qubit %d repeated within operation", si, oi, q)
+				// Scan newest-first so an intra-operation duplicate is
+				// reported as such even when an earlier op also used q.
+				for k := len(qs) - 1; k >= 0; k-- {
+					if qs[k] != q {
+						continue
+					}
+					if k >= start {
+						return fmt.Errorf("slot %d op %d: qubit %d repeated within operation", si, oi, q)
+					}
+					return fmt.Errorf("slot %d: qubit %d used by ops %d and %d", si, q, os[k], oi)
 				}
-				local[q] = true
-				if prev, ok := seen[q]; ok {
-					return fmt.Errorf("slot %d: qubit %d used by ops %d and %d", si, q, prev, oi)
-				}
-				seen[q] = oi
+				qs = append(qs, q)
+				os = append(os, oi)
 			}
 		}
 	}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The golden values below were produced by the row-major CHP kernel
+// before the column-major transpose (PR 2) and pin the exact seeded
+// measurement stream: any change to gate semantics, RNG draw order or
+// sweep sharding shows up as a count mismatch here. Regenerate only when
+// a deliberate semantic change is made, and say so in the PR.
+
+type goldenSweepPoint struct {
+	per     float64
+	lers    []float64
+	windows []float64
+	gates   []float64
+}
+
+var goldenSweep = map[bool][]goldenSweepPoint{
+	false: {
+		{3e-3, []float64{0.021164021164021163, 0.037383177570093455}, []float64{189, 107}, []float64{0, 0}},
+		{8e-3, []float64{0.06666666666666667, 0.07407407407407407}, []float64{60, 54}, []float64{0, 0}},
+	},
+	true: {
+		{3e-3, []float64{0.02631578947368421, 0.015444015444015444}, []float64{152, 259}, []float64{0.003959044368600682, 0.004683559505223971}},
+		{8e-3, []float64{0.08163265306122448, 0.06666666666666667}, []float64{49, 60}, []float64{0.009058352643775016, 0.009628610729023384}},
+	},
+}
+
+func floatsEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-15*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestGoldenSeededSweep runs a seeded mini LER sweep (two PER points, two
+// samples each, with and without the Pauli frame) and checks the exact
+// per-sample LERs, window counts and gate savings against the golden
+// values recorded from the pre-transpose kernel.
+func TestGoldenSeededSweep(t *testing.T) {
+	for _, withPF := range []bool{false, true} {
+		pts, err := RunSweep(SweepConfig{
+			PERs:             []float64{3e-3, 8e-3},
+			Samples:          2,
+			WithPauliFrame:   withPF,
+			MaxLogicalErrors: 4,
+			MaxWindows:       3000,
+			BaseSeed:         424242,
+			Workers:          3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := goldenSweep[withPF]
+		if len(pts) != len(want) {
+			t.Fatalf("pf=%v: got %d points, want %d", withPF, len(pts), len(want))
+		}
+		for i, pt := range pts {
+			g := want[i]
+			if !floatsEqual(pt.PER, g.per) {
+				t.Errorf("pf=%v point %d: PER=%g want %g", withPF, i, pt.PER, g.per)
+			}
+			if len(pt.LERs) != len(g.lers) || len(pt.WindowCounts) != len(g.windows) || len(pt.GatesSaved) != len(g.gates) {
+				t.Fatalf("pf=%v point %d: sample count mismatch: %+v", withPF, i, pt)
+			}
+			for s := range g.lers {
+				if !floatsEqual(pt.LERs[s], g.lers[s]) {
+					t.Errorf("pf=%v point %d sample %d: LER=%v want %v", withPF, i, s, pt.LERs[s], g.lers[s])
+				}
+				if pt.WindowCounts[s] != g.windows[s] {
+					t.Errorf("pf=%v point %d sample %d: windows=%v want %v", withPF, i, s, pt.WindowCounts[s], g.windows[s])
+				}
+				if !floatsEqual(pt.GatesSaved[s], g.gates[s]) {
+					t.Errorf("pf=%v point %d sample %d: gatesSaved=%v want %v", withPF, i, s, pt.GatesSaved[s], g.gates[s])
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenGenericSweep pins the distance-parameterized generic sweep
+// the same way.
+func TestGoldenGenericSweep(t *testing.T) {
+	rs, err := RunGenericLERSweep(GenericLERConfig{
+		PER:              4e-3,
+		MaxLogicalErrors: 3,
+		MaxWindows:       400,
+		Seed:             777,
+		Workers:          2,
+	}, []int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		windows, errors, injected int
+		ler                       float64
+	}{
+		{116, 3, 113, 0.02586206896551724},
+		{34, 3, 181, 0.08823529411764706},
+	}
+	if len(rs) != len(want) {
+		t.Fatalf("got %d results, want %d", len(rs), len(want))
+	}
+	for i, r := range rs {
+		g := want[i]
+		if r.Windows != g.windows || r.LogicalErrors != g.errors || r.InjectedErrors != g.injected {
+			t.Errorf("d-point %d: windows/errors/injected = %d/%d/%d, want %d/%d/%d",
+				i, r.Windows, r.LogicalErrors, r.InjectedErrors, g.windows, g.errors, g.injected)
+		}
+		if !floatsEqual(r.LER, g.ler) {
+			t.Errorf("d-point %d: LER=%v want %v", i, r.LER, g.ler)
+		}
+	}
+}

@@ -54,6 +54,9 @@ type ErrorLayer struct {
 
 	rng    *rand.Rand
 	bypass bool
+	// busy is the reusable per-slot occupancy scratch (indexed by
+	// physical qubit), cleared after each slot instead of reallocated.
+	busy []bool
 }
 
 // NewErrorLayer stacks the thesis' symmetric depolarizing error layer
@@ -108,13 +111,18 @@ func (e *ErrorLayer) Add(c *circuit.Circuit) error {
 		return e.Next.Add(c)
 	}
 	n := e.Next.NumQubits()
+	if cap(e.busy) < n {
+		e.busy = make([]bool, n)
+	}
+	busy := e.busy[:n]
 	out := circuit.New()
 	for _, slot := range c.Slots {
 		var pre, post []circuit.Operation
-		busy := make(map[int]bool, n)
 		for _, op := range slot.Ops {
 			for _, q := range op.Qubits {
-				busy[q] = true
+				if q < n {
+					busy[q] = true
+				}
 			}
 			switch {
 			case op.Gate.Class == gates.ClassMeasure:
@@ -153,6 +161,7 @@ func (e *ErrorLayer) Add(c *circuit.Circuit) error {
 		// Idling qubits execute an identity and take the same channel.
 		for q := 0; q < n; q++ {
 			if busy[q] {
+				busy[q] = false
 				continue
 			}
 			e.Stats.OpsSeen++

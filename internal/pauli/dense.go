@@ -1,0 +1,113 @@
+package pauli
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dense is a dense, reusable multi-qubit Pauli operator: Ops[q] holds the
+// operator acting on qubit q (I for identity) and Negative the ±1 sign.
+// Unlike the map-backed PauliString it is laid out contiguously and sorted
+// by construction, so extraction paths that run once per tableau row (the
+// Stabilizers / canonical-compare path) can refill one Dense buffer
+// instead of allocating a map per row.
+type Dense struct {
+	// Ops is indexed by qubit; entries are I where the operator acts
+	// trivially.
+	Ops []Pauli
+	// Negative is true for a −1 sign.
+	Negative bool
+}
+
+// NewDense returns a +I⊗n buffer.
+func NewDense(n int) *Dense {
+	return &Dense{Ops: make([]Pauli, n)}
+}
+
+// Reset resizes the buffer to n qubits and clears it to +I⊗n, reusing the
+// backing array when its capacity suffices.
+func (d *Dense) Reset(n int) {
+	if cap(d.Ops) < n {
+		d.Ops = make([]Pauli, n)
+		d.Negative = false
+		return
+	}
+	d.Ops = d.Ops[:n]
+	for i := range d.Ops {
+		d.Ops[i] = I
+	}
+	d.Negative = false
+}
+
+// Len is the number of qubits the buffer spans.
+func (d *Dense) Len() int { return len(d.Ops) }
+
+// At returns the operator on qubit q (identity when out of range).
+func (d *Dense) At(q int) Pauli {
+	if q < 0 || q >= len(d.Ops) {
+		return I
+	}
+	return d.Ops[q]
+}
+
+// Set assigns the operator on qubit q.
+func (d *Dense) Set(q int, p Pauli) { d.Ops[q] = p }
+
+// Weight counts the qubits acted on non-trivially.
+func (d *Dense) Weight() int {
+	w := 0
+	for _, p := range d.Ops {
+		if p != I {
+			w++
+		}
+	}
+	return w
+}
+
+// Sparse converts the buffer into the map-backed PauliString, allocating
+// a map sized exactly to the weight.
+func (d *Dense) Sparse() PauliString {
+	ops := make(map[int]Pauli, d.Weight())
+	for q, p := range d.Ops {
+		if p != I {
+			ops[q] = p
+		}
+	}
+	return PauliString{Ops: ops, Negative: d.Negative}
+}
+
+// Equal reports element-wise equality including the sign.
+func (d *Dense) Equal(o *Dense) bool {
+	if d.Negative != o.Negative || len(d.Ops) != len(o.Ops) {
+		return false
+	}
+	for i, p := range d.Ops {
+		if p != o.Ops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders like "-Z0Z4Z8"; the support is emitted in qubit order
+// without any sorting pass.
+func (d *Dense) String() string {
+	var b strings.Builder
+	if d.Negative {
+		b.WriteByte('-')
+	} else {
+		b.WriteByte('+')
+	}
+	wrote := false
+	for q, p := range d.Ops {
+		if p == I {
+			continue
+		}
+		fmt.Fprintf(&b, "%s%d", p, q)
+		wrote = true
+	}
+	if !wrote {
+		b.WriteByte('I')
+	}
+	return b.String()
+}

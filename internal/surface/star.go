@@ -43,6 +43,16 @@ type Star struct {
 	Dance DanceMode
 	// State is the classically known logical value (0, 1 or x).
 	State qpdo.BinaryState
+
+	// esmCache memoizes the ESM circuit per (Rotation, Dance). The
+	// circuit is a pure function of those two fields plus Mode and the
+	// physical indices, which are fixed after creation, and every layer
+	// in the stack treats added circuits as immutable (the error and
+	// Pauli-frame layers emit fresh output circuits), so one instance per
+	// variant can be replayed every round. ESM dominates the LER
+	// hot path — without the cache each round rebuilds an 8-slot,
+	// 48-operation circuit.
+	esmCache [2][2]*circuit.Circuit
 }
 
 // phys translates a relative qubit index (0..16) to a physical index.
@@ -83,10 +93,17 @@ func isGroupA(c checkSpec) bool { return c.anc < 13 }
 // shared ancilla. The companion parse order is always: X-type checks in
 // group order, then Z-type checks.
 func (s *Star) ESMCircuit() *circuit.Circuit {
-	if s.Mode == AncillaSharedSingle {
-		return s.esmShared()
+	if c := s.esmCache[s.Rotation][s.Dance]; c != nil {
+		return c
 	}
-	return s.esmParallel()
+	var c *circuit.Circuit
+	if s.Mode == AncillaSharedSingle {
+		c = s.esmShared()
+	} else {
+		c = s.esmParallel()
+	}
+	s.esmCache[s.Rotation][s.Dance] = c
+	return c
 }
 
 func (s *Star) esmParallel() *circuit.Circuit {
