@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -29,7 +31,43 @@ func main() {
 	seed := flag.Int64("seed", 2017, "base RNG seed")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
 	csvPath := flag.String("csv", "", "also write CSV to this file (suffix _pf/_nopf added in both mode)")
+	engineName := flag.String("engine", "stack", "simulation engine: stack (QPDO oracle) or framesim (bit-sliced 64-shot Pauli-frame engine)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	engine, err := experiments.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lersweep:", err)
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lersweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lersweep:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lersweep:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lersweep:", err)
+			}
+		}()
+	}
 
 	lo, hi := 1e-4, 1e-2
 	if *rng == "zoom" {
@@ -41,6 +79,7 @@ func main() {
 	}
 
 	cfg := experiments.SweepConfig{
+		Engine:           engine,
 		PERs:             experiments.LogSpace(lo, hi, *points),
 		Samples:          *samples,
 		ErrorType:        et,

@@ -41,16 +41,22 @@ func main() {
 	out := flag.String("o", "", "write the markdown report here (default stdout)")
 	seed := flag.Int64("seed", 2017, "base seed")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
+	engineName := flag.String("engine", "stack", "LER-study engine: stack (QPDO oracle) or framesim (bit-sliced, ~80x faster)")
 	flag.Parse()
 	sc, ok := scales[*scaleName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "reproduce: unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+	engine, err := experiments.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
 
 	var b strings.Builder
 	start := time.Now()
-	fmt.Fprintf(&b, "# Reproduction report (scale %s, seed %d)\n\n", *scaleName, *seed)
+	fmt.Fprintf(&b, "# Reproduction report (scale %s, seed %d, LER engine %s)\n\n", *scaleName, *seed, engine)
 
 	// 1. Pauli frame equivalence on random circuits (§5.2.2).
 	status("random-circuit equivalence")
@@ -105,6 +111,7 @@ func main() {
 	// 3. LER study.
 	status("LER sweeps (this is the long part)")
 	pair, err := experiments.RunPairedSweeps(experiments.SweepConfig{
+		Engine:           engine,
 		PERs:             experiments.LogSpace(1e-4, 1e-2, sc.points),
 		Samples:          sc.samples,
 		MaxLogicalErrors: sc.errors,

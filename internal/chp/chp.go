@@ -90,6 +90,24 @@ func New(n int, rng *rand.Rand) *Tableau {
 // NumQubits returns n.
 func (t *Tableau) NumQubits() int { return t.n }
 
+// Reinit restores the all-zeros state |0...0⟩ in place and replaces the
+// measurement RNG, reusing every allocation — equivalent to New(n, rng)
+// for an already-sized tableau. The Monte-Carlo drivers use it to recycle
+// one tableau across samples instead of reallocating the whole stack.
+func (t *Tableau) Reinit(rng *rand.Rand) {
+	for i := range t.xz {
+		t.xz[i] = 0
+	}
+	for i := range t.sign {
+		t.sign[i] = 0
+	}
+	for q := 0; q < t.n; q++ {
+		setPlaneBit(t.xcol(q), q)     // destabilizer q = X_q
+		setPlaneBit(t.zcol(q), t.n+q) // stabilizer q = Z_q
+	}
+	t.rng = rng
+}
+
 func (t *Tableau) check(q int) {
 	if q < 0 || q >= t.n {
 		panic(fmt.Sprintf("chp: qubit %d out of range [0,%d)", q, t.n))

@@ -74,6 +74,15 @@ func (f *Frame) Reset(q int) {
 	f.recs[q] = pauli.RecI
 }
 
+// Clear resets every record to I; the stack-reuse fast path of the
+// Monte-Carlo drivers (one allocation-free call instead of per-qubit
+// Resets).
+func (f *Frame) Clear() {
+	for i := range f.recs {
+		f.recs[i] = pauli.RecI
+	}
+}
+
 // FlipsMeasurement reports whether the measurement result of qubit q must
 // be inverted (thesis Table 3.2).
 func (f *Frame) FlipsMeasurement(q int) bool {

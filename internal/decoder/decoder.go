@@ -51,6 +51,11 @@ type LUT struct {
 	// corrections[s] lists the data-qubit indices to correct for
 	// syndrome s.
 	corrections [1 << NumChecks][]int
+	// masks[s] is the same correction as a data-qubit bitmask (bit q set
+	// means correct qubit q); valid for nData ≤ 32, which covers every
+	// LUT-decoded code in this repo. The frame engine XORs these masks
+	// into its bit-planes without touching the slices.
+	masks [1 << NumChecks]uint32
 	// supports[i] is the data-qubit support of stabilizer i.
 	supports [NumChecks][]int
 	nData    int
@@ -125,13 +130,34 @@ func BuildLUTRestricted(supports [NumChecks][]int, nData int, allowed []int) *LU
 		if !ok {
 			panic(fmt.Sprintf("decoder: syndrome %04b unreachable by weight ≤ 3 errors on the allowed qubits", s))
 		}
+		for _, q := range l.corrections[s] {
+			if q < 32 {
+				l.masks[s] |= 1 << uint(q)
+			}
+		}
 	}
 	return l
 }
 
-// Decode returns the minimal-weight correction for a syndrome.
+// Decode returns the minimal-weight correction for a syndrome as a fresh
+// slice the caller may keep or mutate. Hot paths should prefer
+// Corrections, which returns the cached table entry without allocating.
 func (l *LUT) Decode(s Syndrome) []int {
 	return append([]int(nil), l.corrections[s]...)
+}
+
+// Corrections returns the cached correction slice for a syndrome. The
+// slice is owned by the table and shared across calls: callers must treat
+// it as read-only. It is nil exactly when the syndrome needs no
+// correction.
+func (l *LUT) Corrections(s Syndrome) []int {
+	return l.corrections[s]
+}
+
+// CorrectionMask returns the correction as a data-qubit bitmask (bit q
+// set ⇔ qubit q appears in Corrections(s)); valid for nData ≤ 32.
+func (l *LUT) CorrectionMask(s Syndrome) uint32 {
+	return l.masks[s]
 }
 
 // Rule selects the windowed decoding rule.
@@ -186,15 +212,30 @@ func (w *WindowDecoder) LUT() *LUT { return w.lut }
 // fresh rounds disagree but the older pair (carry, r1) agrees, that
 // already-confirmed part is decoded immediately (the carried round of
 // thesis Fig 5.9); the newest round becomes the next window's carry.
+//
+// The returned slice is the cached LUT entry, shared across calls:
+// callers must treat it as read-only. Decode runs once per QEC window on
+// the Monte-Carlo hot path, so it must not allocate.
 func (w *WindowDecoder) Decode(r1, r2 Syndrome) []int {
+	return w.lut.Corrections(w.decodeSyndrome(r1, r2))
+}
+
+// DecodeSyndrome applies the windowed rule and returns the syndrome that
+// gets decoded this window (0 when the window is deferred), advancing the
+// carry. The frame engine uses this with CorrectionMask instead of the
+// correction slices.
+func (w *WindowDecoder) DecodeSyndrome(r1, r2 Syndrome) Syndrome {
+	return w.decodeSyndrome(r1, r2)
+}
+
+func (w *WindowDecoder) decodeSyndrome(r1, r2 Syndrome) Syndrome {
 	carry := w.carry
 	w.carry = r2
 	if w.rule == RuleIntersection {
-		confirmed := (carry & r1) | (r1 & r2) | (carry & r2)
-		return w.lut.Decode(confirmed)
+		return (carry & r1) | (r1 & r2) | (carry & r2)
 	}
 	if r1 == r2 {
-		return w.lut.Decode(r1)
+		return r1
 	}
 	if carry == r1 {
 		// Confirmed since the previous window; correct it now and leave
@@ -202,7 +243,7 @@ func (w *WindowDecoder) Decode(r1, r2 Syndrome) []int {
 		// carried round must be adjusted: the correction removes the
 		// confirmed part from future syndromes.
 		w.carry = r2 ^ r1
-		return w.lut.Decode(r1)
+		return r1
 	}
-	return nil
+	return 0
 }

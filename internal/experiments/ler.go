@@ -39,8 +39,47 @@ func (e ErrorType) String() string {
 	return "X"
 }
 
+// Engine selects the simulation engine behind the LER experiments.
+type Engine int
+
+// Engines.
+const (
+	// EngineStack drives the full QPDO layer stack of thesis Fig 5.8
+	// (ninja star → counters → [pauli frame] → error layer → CHP
+	// tableau), one shot at a time. It is the semantic oracle: every
+	// layer behaves exactly as the thesis specifies.
+	EngineStack Engine = iota
+	// EngineFrameSim drives the bit-sliced Pauli-frame engine
+	// (internal/framesim): 64 Monte-Carlo shots propagate per uint64
+	// word against a noiseless CHP reference run. Exact for the LER
+	// protocol (Clifford circuits + Pauli noise); validated against
+	// EngineStack by differential and statistical tests.
+	EngineFrameSim
+)
+
+// String names the engine like the -engine flag values.
+func (e Engine) String() string {
+	if e == EngineFrameSim {
+		return "framesim"
+	}
+	return "stack"
+}
+
+// ParseEngine maps a -engine flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "stack", "chp", "qpdo":
+		return EngineStack, nil
+	case "framesim", "frame":
+		return EngineFrameSim, nil
+	}
+	return EngineStack, fmt.Errorf("unknown engine %q (want stack or framesim)", s)
+}
+
 // LERConfig parameterizes one logical-error-rate run.
 type LERConfig struct {
+	// Engine selects the simulation engine (default: the QPDO stack).
+	Engine Engine
 	// PER is the physical error rate p of the depolarizing model.
 	PER float64
 	// ErrorType selects the monitored logical error.
@@ -165,17 +204,77 @@ func buildStack(cfg LERConfig) (*lerStack, error) {
 	return s, nil
 }
 
+// reset restores a built stack to the state buildStack(cfg) would
+// produce, reusing every allocation. The RNG derivation chain mirrors
+// buildStack exactly (one master RNG seeded by cfg.Seed, first child for
+// the CHP core, second for the error layer), so a reused stack is
+// bit-identical to a fresh one. The ninja-star layer needs no explicit
+// reset: the protocol's initial Prep re-establishes rotation, dance mode,
+// decoder carries and logical state, and its cached ESM circuits are pure
+// functions of the fixed geometry.
+func (s *lerStack) reset(cfg LERConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s.chp.Reset(rand.New(rand.NewSource(rng.Int63())))
+	model := layers.Depolarizing(cfg.PER)
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	s.errl.Reconfigure(model, rand.New(rand.NewSource(rng.Int63())))
+	s.counterMid.ResetStats()
+	s.counterTop.ResetStats()
+	if s.pf != nil {
+		s.pf.Reset()
+	}
+}
+
+// stackPool hands one reusable stack to each Monte-Carlo worker. The
+// pooled stacks must share the structural configuration (WithPauliFrame,
+// InitRounds, DecoderRule); per-run fields (PER, Seed, Model) are applied
+// by reset.
+type stackPool struct {
+	stacks []*lerStack
+}
+
+func newStackPool(workers int) *stackPool {
+	return &stackPool{stacks: make([]*lerStack, workers)}
+}
+
+// run executes one LER run on worker w's stack, building it on first use.
+func (p *stackPool) run(w int, cfg LERConfig) (LERResult, error) {
+	cfg = cfg.withDefaults()
+	s := p.stacks[w]
+	if s == nil {
+		var err error
+		s, err = buildStack(cfg)
+		if err != nil {
+			return LERResult{}, err
+		}
+		p.stacks[w] = s
+	} else {
+		s.reset(cfg)
+	}
+	return runLER(cfg, s)
+}
+
 // RunLER executes the windows protocol of thesis Listing 5.7 for one
 // physical error rate: initialize the logical qubit noiselessly, then
 // repeatedly run QEC windows, count windows, and — whenever the data
 // qubits carry no observable error — probe for a logical error.
 func RunLER(cfg LERConfig) (LERResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Engine == EngineFrameSim {
+		return runFrameLER(cfg)
+	}
 	s, err := buildStack(cfg)
 	if err != nil {
 		return LERResult{}, err
 	}
+	return runLER(cfg, s)
+}
 
+// runLER drives the windows protocol on an initialized stack; cfg must
+// already have its defaults applied.
+func runLER(cfg LERConfig, s *lerStack) (LERResult, error) {
 	// Noiseless initialization (bypass mode).
 	init := circuit.New().Add(gates.Prep, 0)
 	if cfg.ErrorType == LogicalZ {
@@ -283,6 +382,8 @@ func stddev(xs []float64) float64 {
 
 // SweepConfig parameterizes a PER sweep (thesis Figs 5.11-5.14).
 type SweepConfig struct {
+	// Engine selects the simulation engine (default: the QPDO stack).
+	Engine           Engine
 	PERs             []float64
 	Samples          int
 	ErrorType        ErrorType
@@ -302,11 +403,15 @@ type SweepConfig struct {
 }
 
 // RunSweep executes repeated LER runs over a PER range. The (point ×
-// sample) runs are independent — each owns a private simulator stack
-// and an RNG seeded by ShardSeed(BaseSeed, point, sample) — and are
-// fanned out over a bounded worker pool; results are gathered in
-// deterministic (point, sample) order.
+// sample) runs are independent — each derives its RNG from
+// ShardSeed(BaseSeed, point, sample) — and are fanned out over a bounded
+// worker pool; each worker reuses one simulator stack across its runs
+// (reset between samples, bit-identical to rebuilding); results are
+// gathered in deterministic (point, sample) order.
 func RunSweep(cfg SweepConfig) ([]PointResult, error) {
+	if cfg.Engine == EngineFrameSim {
+		return runFrameSweep(cfg)
+	}
 	points, samples := len(cfg.PERs), cfg.Samples
 	if samples < 0 {
 		samples = 0
@@ -320,9 +425,11 @@ func RunSweep(cfg SweepConfig) ([]PointResult, error) {
 	if cfg.Progress != nil && samples > 0 {
 		progress = newProgressCollector(cfg.PERs, samples, cfg.Progress)
 	}
-	err := forEachShard(points*samples, resolveWorkers(cfg.Workers), func(k int) error {
+	workers := resolveWorkers(cfg.Workers)
+	pool := newStackPool(workers)
+	err := forEachShardWorker(points*samples, workers, func(w, k int) error {
 		i, s := k/samples, k%samples
-		r, err := RunLER(LERConfig{
+		r, err := pool.run(w, LERConfig{
 			PER:              cfg.PERs[i],
 			ErrorType:        cfg.ErrorType,
 			WithPauliFrame:   cfg.WithPauliFrame,

@@ -42,6 +42,14 @@ func resolveWorkers(w int) int {
 // error the pool stops handing out new jobs and the lowest-indexed
 // error among the jobs that ran is returned.
 func forEachShard(n, workers int, job func(i int) error) error {
+	return forEachShardWorker(n, workers, func(_, i int) error { return job(i) })
+}
+
+// forEachShardWorker is forEachShard with the worker index exposed: job
+// receives (w, i) where w < workers identifies the goroutine running it.
+// Jobs on the same worker run strictly sequentially, so per-worker state
+// (a reusable simulator stack) needs no locking.
+func forEachShardWorker(n, workers int, job func(w, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -50,7 +58,7 @@ func forEachShard(n, workers int, job func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			if err := job(0, i); err != nil {
 				return err
 			}
 		}
@@ -64,20 +72,20 @@ func forEachShard(n, workers int, job func(i int) error) error {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for !failed.Load() {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := job(i); err != nil {
+				if err := job(w, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -132,17 +140,28 @@ func (c *progressCollector) close() {
 
 // RunLERSamples runs `samples` independent repetitions of one LER
 // configuration in parallel (pool size cfg.Workers), seeding repetition
-// s with ShardSeed(cfg.Seed, 0, s). The result order is by repetition
-// index and is bit-identical for any worker count.
+// s with ShardSeed(cfg.Seed, 0, s). Each worker reuses one simulator
+// stack across its repetitions. The result order is by repetition index
+// and is bit-identical for any worker count.
 func RunLERSamples(cfg LERConfig, samples int) ([]LERResult, error) {
 	if samples < 0 {
 		samples = 0
 	}
 	out := make([]LERResult, samples)
-	err := forEachShard(samples, resolveWorkers(cfg.Workers), func(s int) error {
+	workers := resolveWorkers(cfg.Workers)
+	pool := newStackPool(workers)
+	err := forEachShardWorker(samples, workers, func(w, s int) error {
 		c := cfg
 		c.Seed = ShardSeed(cfg.Seed, 0, s)
-		r, err := RunLER(c)
+		var (
+			r   LERResult
+			err error
+		)
+		if c.Engine == EngineFrameSim {
+			r, err = RunLER(c)
+		} else {
+			r, err = pool.run(w, c)
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,100 @@
+package framesim
+
+import "repro/internal/pauli"
+
+// Batch is a bit-sliced Pauli error frame for 64 Monte-Carlo shots: for
+// every qubit one uint64 word holds the X components of all shots (bit j
+// = shot j) and one word the Z components. This is the same object as
+// core.BitFrame — a sign-free F₂ symplectic Pauli frame — but sliced
+// across shots instead of qubits, so one Clifford conjugation rule of
+// thesis Tables 3.4–3.5 updates 64 independent trajectories with one or
+// two word operations.
+//
+// The layout is [qubit][shot-word]: the planes of one qubit are adjacent,
+// which is what the gate kernels touch (a gate reads/writes the planes of
+// its one or two operand qubits across all shots), while the per-shot
+// view (column j of all planes) is only materialized shot-by-shot when a
+// decoded syndrome needs a scalar LUT lookup.
+type Batch struct {
+	n      int
+	fx, fz []uint64
+}
+
+// NewBatch creates an identity frame batch for n qubits.
+func NewBatch(n int) *Batch {
+	return &Batch{n: n, fx: make([]uint64, n), fz: make([]uint64, n)}
+}
+
+// NumQubits returns the number of qubits.
+func (b *Batch) NumQubits() int { return b.n }
+
+// Reset clears every frame to the identity.
+func (b *Batch) Reset() {
+	for i := range b.fx {
+		b.fx[i] = 0
+		b.fz[i] = 0
+	}
+}
+
+// The conjugation kernels below mirror core.BitFrame bit for bit (the
+// property test drives the two against each other record-by-record).
+// Pauli gates are absent by design: a Pauli applied physically in both
+// the reference and the shots commutes through the frame unchanged, and
+// Pauli *errors* enter via XorX/XorZ.
+
+// H conjugates the frames of qubit q by a Hadamard: X ↔ Z.
+func (b *Batch) H(q int) {
+	b.fx[q], b.fz[q] = b.fz[q], b.fx[q]
+}
+
+// S conjugates by the phase gate: X → Y (Z ^= X), Z fixed. S† acts
+// identically on the sign-free frame.
+func (b *Batch) S(q int) {
+	b.fz[q] ^= b.fx[q]
+}
+
+// CNOT conjugates by a controlled-NOT: X copies control→target, Z copies
+// target→control.
+func (b *Batch) CNOT(c, t int) {
+	b.fx[t] ^= b.fx[c]
+	b.fz[c] ^= b.fz[t]
+}
+
+// CZ conjugates by a controlled-Z: an X on either operand toggles Z on
+// the other.
+func (b *Batch) CZ(p, q int) {
+	b.fz[q] ^= b.fx[p]
+	b.fz[p] ^= b.fx[q]
+}
+
+// SWAP exchanges the frames of the two operands.
+func (b *Batch) SWAP(p, q int) {
+	b.fx[p], b.fx[q] = b.fx[q], b.fx[p]
+	b.fz[p], b.fz[q] = b.fz[q], b.fz[p]
+}
+
+// XorX injects an X error into qubit q for the shots selected by mask.
+func (b *Batch) XorX(q int, mask uint64) { b.fx[q] ^= mask }
+
+// XorZ injects a Z error into qubit q for the shots selected by mask.
+func (b *Batch) XorZ(q int, mask uint64) { b.fz[q] ^= mask }
+
+// X returns the X bit-plane of qubit q.
+func (b *Batch) X(q int) uint64 { return b.fx[q] }
+
+// Z returns the Z bit-plane of qubit q.
+func (b *Batch) Z(q int) uint64 { return b.fz[q] }
+
+// ClearQubit zeroes both planes of qubit q (reset of a physical qubit
+// destroys any pending error on it).
+func (b *Batch) ClearQubit(q int) {
+	b.fx[q] = 0
+	b.fz[q] = 0
+}
+
+// Record extracts the Pauli record of qubit q in shot j, for comparison
+// against core.BitFrame in the width-1 property test.
+func (b *Batch) Record(q, j int) pauli.Record {
+	bit := uint64(1) << uint(j)
+	return pauli.Record{X: b.fx[q]&bit != 0, Z: b.fz[q]&bit != 0}
+}

@@ -1,0 +1,115 @@
+package framesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gates"
+)
+
+// TestBatchMatchesFrame drives the bit-sliced batch and 64 independent
+// scalar core.Frame replicas through the same random interleaving of
+// Clifford conjugations and per-lane Pauli injections, and requires every
+// lane of the batch to agree with its replica record-by-record. This is
+// the width-1 property: lane j of a Batch IS a Pauli frame.
+func TestBatchMatchesFrame(t *testing.T) {
+	const n = 9
+	rng := rand.New(rand.NewSource(11))
+	b := NewBatch(n)
+	var frames [64]*core.Frame
+	for j := range frames {
+		frames[j] = core.NewFrame(n)
+	}
+	check := func(step int) {
+		t.Helper()
+		for q := 0; q < n; q++ {
+			for j := 0; j < 64; j++ {
+				if got, want := b.Record(q, j), frames[j].Record(q); got != want {
+					t.Fatalf("step %d: qubit %d lane %d: batch %v, frame %v", step, q, j, got, want)
+				}
+			}
+		}
+	}
+	for step := 0; step < 2000; step++ {
+		q := rng.Intn(n)
+		p := rng.Intn(n - 1)
+		if p >= q {
+			p++
+		}
+		switch rng.Intn(10) {
+		case 0:
+			b.H(q)
+			for _, f := range frames {
+				f.MapClifford(gates.GateH, []int{q})
+			}
+		case 1:
+			b.S(q)
+			for _, f := range frames {
+				f.MapClifford(gates.GateS, []int{q})
+			}
+		case 2:
+			// S† has the same sign-free action as S.
+			b.S(q)
+			for _, f := range frames {
+				f.MapClifford(gates.GateSdg, []int{q})
+			}
+		case 3:
+			b.CNOT(q, p)
+			for _, f := range frames {
+				f.MapClifford(gates.GateCNOT, []int{q, p})
+			}
+		case 4:
+			b.CZ(q, p)
+			for _, f := range frames {
+				f.MapClifford(gates.GateCZ, []int{q, p})
+			}
+		case 5:
+			b.SWAP(q, p)
+			for _, f := range frames {
+				f.MapClifford(gates.GateSWAP, []int{q, p})
+			}
+		case 6:
+			mask := rng.Uint64()
+			b.XorX(q, mask)
+			for j, f := range frames {
+				if mask>>uint(j)&1 == 1 {
+					f.TrackPauli(gates.GateX, q)
+				}
+			}
+		case 7:
+			mask := rng.Uint64()
+			b.XorZ(q, mask)
+			for j, f := range frames {
+				if mask>>uint(j)&1 == 1 {
+					f.TrackPauli(gates.GateZ, q)
+				}
+			}
+		case 8:
+			mask := rng.Uint64()
+			b.XorX(q, mask)
+			b.XorZ(q, mask)
+			for j, f := range frames {
+				if mask>>uint(j)&1 == 1 {
+					f.TrackPauli(gates.GateY, q)
+				}
+			}
+		case 9:
+			b.ClearQubit(q)
+			for _, f := range frames {
+				f.Reset(q)
+			}
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(2000)
+
+	b.Reset()
+	for q := 0; q < n; q++ {
+		if b.X(q) != 0 || b.Z(q) != 0 {
+			t.Fatalf("Reset left qubit %d planes %x/%x", q, b.X(q), b.Z(q))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package framesim
+
+import (
+	"testing"
+
+	"repro/internal/layers"
+)
+
+func benchEngine(b *testing.B, per float64) *Engine {
+	b.Helper()
+	e, err := New(Config{Model: layers.Depolarizing(per), RefSeed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkFrameSimPropagate measures the batch propagate kernel: one
+// noisy ESM tape execution for 64 shots. This is the inner loop of every
+// LER sweep; it must not allocate.
+func BenchmarkFrameSimPropagate(b *testing.B) {
+	e := benchEngine(b, 2e-3)
+	st := e.newRunState(1, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runTape(st, e.esm, e.refESM, true, st.r1)
+		st.round++
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.runTape(st, e.esm, e.refESM, true, st.r1)
+	}); allocs != 0 {
+		b.Fatalf("propagate kernel allocates %.0f times per run", allocs)
+	}
+}
+
+// BenchmarkFrameSimWindow measures one full QEC window for 64 shots:
+// two noisy rounds, word-parallel decode, correction, diagnostics, probe.
+func BenchmarkFrameSimWindow(b *testing.B) {
+	e := benchEngine(b, 2e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.cfg.MaxWindows = 1
+	var res [64]ShotResult
+	st := e.newRunState(1, nil)
+	for i := 0; i < b.N; i++ {
+		e.runWindows(st, &res, 64, 0, nil)
+	}
+}

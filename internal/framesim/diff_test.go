@@ -1,0 +1,236 @@
+package framesim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/decoder"
+	"repro/internal/framesim"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+// runStackScripted drives the QPDO oracle stack (ninja star → scripted
+// injector → CHP tableau) through the windows protocol by hand, injecting
+// exactly the Script's errors, and records the same per-window trace the
+// frame engine emits. The window driving replicates NinjaStarLayer
+// .RunWindow with local decoder replicas so the raw syndromes are visible.
+func runStackScripted(t *testing.T, obs framesim.Observable, rule decoder.Rule, windows int, script framesim.Script) ([]framesim.WindowTrace, int) {
+	t.Helper()
+	chpCore := layers.NewChpCore(rand.New(rand.NewSource(12345)))
+	inj := framesim.NewInjectLayer(chpCore, script)
+	star := surface.NewNinjaStarLayer(inj, surface.Config{
+		Ancilla:     surface.AncillaDedicated,
+		InitRounds:  3,
+		DecoderRule: rule,
+	})
+	if err := star.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	init := circuit.New().Add(gates.Prep, 0)
+	if obs == framesim.ObserveZ {
+		init.Add(gates.H, 0)
+	}
+	if err := qpdo.WithBypass(star, func() error {
+		_, err := qpdo.Run(star, init)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Round != 0 {
+		t.Fatalf("injector consumed %d rounds during bypassed init", inj.Round)
+	}
+
+	st := star.Star(0)
+	lutA := decoder.BuildLUT(surface.XSupports(surface.RotNormal), surface.NumData)
+	lutB := decoder.BuildLUT(surface.ZSupports(surface.RotNormal), surface.NumData)
+	decA, decB := decoder.NewWindowDecoder(lutA), decoder.NewWindowDecoder(lutB)
+	decA.SetRule(rule)
+	decB.SetRule(rule)
+	gateA, gateB := gates.Z, gates.X
+	if st.Rotation == surface.RotRotated {
+		gateA, gateB = gates.X, gates.Z
+	}
+	probe := star.ProbeZL
+	if obs == framesim.ObserveZ {
+		probe = star.ProbeXL
+	}
+
+	expected, errs := 0, 0
+	traces := make([]framesim.WindowTrace, 0, windows)
+	for w := 0; w < windows; w++ {
+		r1, err := star.RunESMRound(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := star.RunESMRound(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmA := uint16(lutA.CorrectionMask(decA.DecodeSyndrome(r1.A, r2.A)))
+		cmB := uint16(lutB.CorrectionMask(decB.DecodeSyndrome(r1.B, r2.B)))
+		// Correction slot, merged like NinjaStarLayer.correctionCircuit
+		// (both components on one qubit → Y).
+		if cmA|cmB != 0 {
+			c := circuit.New()
+			slot := c.AppendSlot()
+			for d := 0; d < surface.NumData; d++ {
+				bit := uint16(1) << uint(d)
+				switch {
+				case cmA&bit != 0 && cmB&bit != 0:
+					c.AddToSlot(slot, gates.Y, st.Data[d])
+				case cmA&bit != 0:
+					c.AddToSlot(slot, gateA, st.Data[d])
+				case cmB&bit != 0:
+					c.AddToSlot(slot, gateB, st.Data[d])
+				}
+			}
+			if err := inj.Add(c); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := inj.Execute(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr := framesim.WindowTrace{
+			R1A: r1.A, R1B: r1.B, R2A: r2.A, R2B: r2.B,
+			CorrA: cmA, CorrB: cmB, Probe: -1,
+		}
+		if err := qpdo.WithBypass(star, func() error {
+			diag, err := star.RunESMRound(0)
+			if err != nil {
+				return err
+			}
+			tr.DiagA, tr.DiagB = diag.A, diag.B
+			tr.Clean = diag.A == 0 && diag.B == 0
+			if !tr.Clean {
+				return nil
+			}
+			out, err := probe(0)
+			if err != nil {
+				return err
+			}
+			tr.Probe = out
+			if out != expected {
+				errs++
+				expected = out
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	if want := 2 * windows; inj.Round != want {
+		t.Fatalf("injector consumed %d rounds, want %d", inj.Round, want)
+	}
+	return traces, errs
+}
+
+// randomScript draws errors over the legal injection sites of `rounds`
+// noisy ESM executions: each site independently carries an error with the
+// given density. Measurement sites get X flips (the PMeas channel);
+// everything else draws uniform non-identity (pairs of) Paulis.
+func randomScript(rng *rand.Rand, e *framesim.Engine, rounds int, density float64) framesim.Script {
+	paulis := []framesim.PauliErr{framesim.ErrX, framesim.ErrY, framesim.ErrZ}
+	script := framesim.Script{}
+	for _, site := range e.ESMSites() {
+		for r := 0; r < rounds; r++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			site.Round = r
+			switch site.Kind {
+			case framesim.KindMeas:
+				script[site] = [2]framesim.PauliErr{framesim.ErrX}
+			case framesim.KindPair:
+				pp := [2]framesim.PauliErr{
+					framesim.PauliErr(rng.Intn(4)),
+					framesim.PauliErr(rng.Intn(4)),
+				}
+				if pp[0] == framesim.ErrNone && pp[1] == framesim.ErrNone {
+					pp[0] = paulis[rng.Intn(3)]
+				}
+				script[site] = pp
+			default:
+				script[site] = [2]framesim.PauliErr{paulis[rng.Intn(3)]}
+			}
+		}
+	}
+	return script
+}
+
+// TestDifferentialScripted is the oracle test of the frame engine: for
+// both observables, both decoder rules and a range of error densities, a
+// scripted error pattern must produce bit-identical per-window traces —
+// raw syndromes, decoded corrections, diagnostics, probe outcomes — and
+// the same logical error count on the frame engine and on the full QPDO
+// stack.
+func TestDifferentialScripted(t *testing.T) {
+	const windows = 24
+	for _, tc := range []struct {
+		name    string
+		obs     framesim.Observable
+		rule    decoder.Rule
+		density float64
+		seed    int64
+	}{
+		{"X/agreement/sparse", framesim.ObserveX, decoder.RuleAgreement, 0.004, 1},
+		{"X/agreement/dense", framesim.ObserveX, decoder.RuleAgreement, 0.04, 2},
+		{"Z/agreement/sparse", framesim.ObserveZ, decoder.RuleAgreement, 0.004, 3},
+		{"Z/agreement/dense", framesim.ObserveZ, decoder.RuleAgreement, 0.04, 4},
+		{"X/intersection", framesim.ObserveX, decoder.RuleIntersection, 0.02, 5},
+		{"Z/intersection", framesim.ObserveZ, decoder.RuleIntersection, 0.02, 6},
+		{"X/empty", framesim.ObserveX, decoder.RuleAgreement, 0, 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := framesim.New(framesim.Config{
+				Observable:  tc.obs,
+				DecoderRule: tc.rule,
+				Model:       layers.Depolarizing(1e-3), // ignored: scripted
+				RefSeed:     7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			script := randomScript(rand.New(rand.NewSource(tc.seed)), eng, 2*windows, tc.density)
+			frameTr, frameRes, err := eng.RunScripted(windows, script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stackTr, stackErrs := runStackScripted(t, tc.obs, tc.rule, windows, script)
+			if len(frameTr) != windows || len(stackTr) != windows {
+				t.Fatalf("trace lengths %d/%d, want %d", len(frameTr), len(stackTr), windows)
+			}
+			for w := range frameTr {
+				if frameTr[w] != stackTr[w] {
+					t.Errorf("window %d:\n  frame %+v\n  stack %+v\n  (%d scripted errors)",
+						w, frameTr[w], stackTr[w], len(script))
+				}
+			}
+			if frameRes.LogicalErrors != stackErrs {
+				t.Errorf("logical errors: frame %d, stack %d", frameRes.LogicalErrors, stackErrs)
+			}
+			if frameRes.Windows != windows {
+				t.Errorf("frame ran %d windows, want %d", frameRes.Windows, windows)
+			}
+			// Guard against a vacuous pass: non-empty scripts must light up
+			// syndromes, and the dense ones must trigger corrections.
+			if tc.density > 0 {
+				syn := 0
+				for _, tr := range frameTr {
+					syn += (tr.R1A | tr.R1B | tr.R2A | tr.R2B).Weight()
+				}
+				if syn == 0 {
+					t.Error("script injected errors but no syndrome ever fired")
+				}
+				if tc.density >= 0.02 && frameRes.CorrectionSlots == 0 {
+					t.Error("dense script triggered no corrections")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,808 @@
+// Package framesim implements the bit-sliced 64-shot Pauli-frame
+// Monte-Carlo engine for the LER windows protocol (thesis Listing 5.7).
+//
+// The QPDO stack (ninja star → counters → [pauli frame] → error layer →
+// CHP tableau) simulates one noisy trajectory at a time; every shot pays
+// the full tableau cost. This engine exploits that the protocol is a
+// Clifford circuit with Pauli noise: a noisy shot equals the noiseless
+// reference run plus a Pauli error frame conjugated through the circuit.
+// The reference is computed once on the CHP tableau; after that each shot
+// is just an X/Z frame bit-pair per qubit, and 64 shots pack into one
+// uint64 word per plane — the conjugation rules of thesis Tables 3.2–3.5
+// become word ops (exactly core.BitFrame, sliced across shots instead of
+// qubits).
+//
+// Exactness rests on the protocol's structure: after the noiseless
+// initialization the state is the unique all-(+1)-stabilizer logical
+// state, so every window-phase measurement (ESM ancillas, diagnostics,
+// probe) is deterministic on the reference, and a shot's outcome is the
+// reference value XOR the frame's X bit. Reset gauge randomization (a
+// fresh random Z frame bit after Prep/Measure) keeps the frame
+// distribution faithful for general circuits; for this protocol the
+// randomized component is always a stabilizer of the evolving reference
+// and never flips a measured value, which is why the syndrome stream is a
+// bit-exact function of the injected error pattern — the property the
+// differential test checks against the QPDO stack.
+//
+// The decoder windows run word-parallel too: syndrome bit-planes per
+// hardware ancilla group, the three-round agreement/intersection rules as
+// boolean word ops, and a scalar LUT lookup only for the (rare) shots
+// whose decoded syndrome is nonzero.
+package framesim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/chp"
+	"repro/internal/circuit"
+	"repro/internal/decoder"
+	"repro/internal/gates"
+	"repro/internal/layers"
+	"repro/internal/qpdo"
+	"repro/internal/surface"
+)
+
+// Observable selects the monitored logical error, mirroring the
+// experiment harness: logical X errors are detected on |0⟩_L with the
+// Z_L probe, logical Z errors on |+⟩_L with the X_L probe.
+type Observable int
+
+// Observables.
+const (
+	ObserveX Observable = iota
+	ObserveZ
+)
+
+// Config parameterizes a frame engine.
+type Config struct {
+	// Observable selects the monitored logical error.
+	Observable Observable
+	// WithPauliFrame models the Pauli-frame stack variant: corrections
+	// are absorbed (no physical correction slot, hence no correction-slot
+	// error opportunities and no executed correction ops).
+	WithPauliFrame bool
+	// MaxLogicalErrors terminates a shot (default 50, like the thesis).
+	MaxLogicalErrors int
+	// MaxWindows caps every shot's run length (default 2,000,000).
+	MaxWindows int
+	// InitRounds is the number of ESM rounds during noiseless
+	// initialization (default 3).
+	InitRounds int
+	// DecoderRule selects the windowed decoding rule.
+	DecoderRule decoder.Rule
+	// Model is the Pauli error channel.
+	Model layers.Model
+	// RefSeed seeds the reference tableau run. Every protocol measurement
+	// is required to be deterministic (New errors out otherwise), so the
+	// results do not depend on this value.
+	RefSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLogicalErrors <= 0 {
+		c.MaxLogicalErrors = 50
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 2_000_000
+	}
+	if c.InitRounds <= 0 {
+		c.InitRounds = 3
+	}
+	return c
+}
+
+// ShotResult reports one Monte-Carlo shot, with the same accounting
+// semantics as the stack harness's LERResult.
+type ShotResult struct {
+	// Windows and LogicalErrors are R and m of thesis Eq. 5.1.
+	Windows       int
+	LogicalErrors int
+	// CorrectionGates / CorrectionSlots count what the decoder issued.
+	CorrectionGates int
+	CorrectionSlots int
+	// OpsIssued / SlotsIssued count the stream entering the Pauli-frame
+	// position; OpsExecuted / SlotsExecuted what would leave it.
+	OpsIssued     int
+	SlotsIssued   int
+	OpsExecuted   int
+	SlotsExecuted int
+	// InjectedErrors counts error events applied while the shot was live.
+	InjectedErrors int
+}
+
+// WindowTrace records what one QEC window did for shot lane 0; the
+// differential test compares traces against the manually driven stack.
+type WindowTrace struct {
+	// R1A..R2B are the raw syndromes of the two ESM rounds per hardware
+	// ancilla group.
+	R1A, R1B, R2A, R2B decoder.Syndrome
+	// CorrA / CorrB are the decoded correction masks (bit d = data qubit
+	// d) per group.
+	CorrA, CorrB uint16
+	// DiagA / DiagB are the noiseless diagnostic round syndromes.
+	DiagA, DiagB decoder.Syndrome
+	// Clean reports whether the diagnostic round was all-zero (the shot
+	// was probed).
+	Clean bool
+	// Probe is the probe outcome, or -1 when the shot was not probed.
+	Probe int
+}
+
+// Engine is an immutable compiled instance of the windows protocol for
+// one configuration: instruction tapes, reference outcomes, decoder
+// tables and channel constants. RunBatch carries all mutable state in a
+// private runState, so one Engine may serve many goroutines concurrently.
+type Engine struct {
+	cfg Config
+	n   int
+
+	esm, probe       *Tape
+	refESM, refProbe []uint64
+
+	// groupOfSite/bitOfSite map ESM measurement sites to hardware ancilla
+	// groups (0 = A, ancillas 9..12; 1 = B) and syndrome bits.
+	groupOfSite, bitOfSite []uint8
+
+	lutA, lutB *decoder.LUT
+	// gateAIsZ: group-A syndromes decode to Z corrections (normal
+	// orientation); swapped after the logical Hadamard of ObserveZ.
+	gateAIsZ     bool
+	intersection bool
+
+	// esmOps/esmSlots are the per-round circuit sizes for the ops
+	// accounting (48 and 8 for a full SC17 round).
+	esmOps, esmSlots int
+
+	// Cached channel constants.
+	p, px, pxy, pMeas float64
+	corrPair          bool
+}
+
+// New compiles the windows protocol for one configuration: it builds a
+// noiseless reference stack (ninja star over a CHP tableau), initializes
+// the logical qubit exactly like the harness, compiles the ESM and probe
+// circuits to tapes, and fixes the reference outcomes by running each
+// tape on the tableau — twice, verifying the reference is deterministic
+// and stationary (it must be: the post-init state carries all +1
+// stabilizers), so frame propagation against fixed reference words is
+// exact.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	chpCore := layers.NewChpCore(rand.New(rand.NewSource(cfg.RefSeed)))
+	star := surface.NewNinjaStarLayer(chpCore, surface.Config{
+		Ancilla:     surface.AncillaDedicated,
+		InitRounds:  cfg.InitRounds,
+		DecoderRule: cfg.DecoderRule,
+	})
+	if err := star.CreateQubits(1); err != nil {
+		return nil, err
+	}
+	init := circuit.New().Add(gates.Prep, 0)
+	if cfg.Observable == ObserveZ {
+		init.Add(gates.H, 0)
+	}
+	if _, err := qpdo.Run(star, init); err != nil {
+		return nil, err
+	}
+
+	st := star.Star(0)
+	n := chpCore.NumQubits()
+	// The tapes address physical qubits; correction masks address
+	// relative data indices. With one star on a fresh core they coincide.
+	for d := 0; d < surface.NumData; d++ {
+		if st.Data[d] != d {
+			return nil, fmt.Errorf("framesim: data qubit %d placed at %d; expected identity layout", d, st.Data[d])
+		}
+	}
+
+	esmC := st.ESMCircuit()
+	probeC := st.ProbeZLCircuit()
+	if cfg.Observable == ObserveZ {
+		probeC = st.ProbeXLCircuit()
+	}
+	esm, err := Compile(esmC, n)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := Compile(probeC, n)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		cfg:          cfg,
+		n:            n,
+		esm:          esm,
+		probe:        probe,
+		lutA:         decoder.BuildLUT(surface.XSupports(surface.RotNormal), surface.NumData),
+		lutB:         decoder.BuildLUT(surface.ZSupports(surface.RotNormal), surface.NumData),
+		gateAIsZ:     st.Rotation == surface.RotNormal,
+		intersection: cfg.DecoderRule == decoder.RuleIntersection,
+		esmOps:       esmC.NumOps(),
+		esmSlots:     esmC.NumSlots(),
+		p:            cfg.Model.TotalSingle(),
+		px:           cfg.Model.PX,
+		pxy:          cfg.Model.PX + cfg.Model.PY,
+		pMeas:        cfg.Model.PMeas,
+		corrPair:     cfg.Model.CorrelatedTwoQubit,
+	}
+
+	e.groupOfSite = make([]uint8, esm.NumMeas())
+	e.bitOfSite = make([]uint8, esm.NumMeas())
+	var seen [2][4]bool
+	for i := 0; i < esm.NumMeas(); i++ {
+		q := esm.MeasQubit(i)
+		rel := -1
+		for a, phys := range st.Anc {
+			if phys == q {
+				rel = a
+				break
+			}
+		}
+		if rel < 0 {
+			return nil, fmt.Errorf("framesim: ESM measures qubit %d, which is no ancilla", q)
+		}
+		g, b := uint8(rel/4), uint8(rel%4)
+		if seen[g][b] {
+			return nil, fmt.Errorf("framesim: ancilla %d measured twice per round", q)
+		}
+		seen[g][b] = true
+		e.groupOfSite[i], e.bitOfSite[i] = g, b
+	}
+	for g := range seen {
+		for b, ok := range seen[g] {
+			if !ok {
+				return nil, fmt.Errorf("framesim: ESM round misses group %d bit %d", g, b)
+			}
+		}
+	}
+
+	tab := chpCore.Tableau()
+	if e.refESM, err = refRun(tab, esm); err != nil {
+		return nil, err
+	}
+	again, err := refRun(tab, esm)
+	if err != nil {
+		return nil, err
+	}
+	if !equalWords(e.refESM, again) {
+		return nil, fmt.Errorf("framesim: ESM reference outcomes are not stationary")
+	}
+	if e.refProbe, err = refRun(tab, probe); err != nil {
+		return nil, err
+	}
+	if again, err = refRun(tab, probe); err != nil {
+		return nil, err
+	}
+	if !equalWords(e.refProbe, again) {
+		return nil, fmt.Errorf("framesim: probe reference outcome is not stationary")
+	}
+	// The probe must be QND with respect to the ESM reference.
+	if again, err = refRun(tab, esm); err != nil {
+		return nil, err
+	}
+	if !equalWords(e.refESM, again) {
+		return nil, fmt.Errorf("framesim: probe disturbs the ESM reference outcomes")
+	}
+	return e, nil
+}
+
+// ESMSites lists the error-injection sites of one ESM round (Round 0 in
+// every returned Site); scripted callers offset Round per execution. Each
+// noisy window consumes two rounds, so a W-window scripted run draws
+// rounds 0..2W-1.
+func (e *Engine) ESMSites() []Site { return e.esm.Sites() }
+
+// refRun executes a tape on the reference tableau and returns the
+// broadcast outcome word per measurement site (0 or all-ones). Any
+// non-deterministic measurement is an error: the frame engine's exactness
+// argument requires fixed reference outcomes.
+func refRun(tab *chp.Tableau, t *Tape) ([]uint64, error) {
+	out := make([]uint64, t.NumMeas())
+	for i := range t.ops {
+		op := &t.ops[i]
+		a := int(op.a)
+		switch op.code {
+		case opH:
+			tab.H(a)
+		case opS:
+			tab.S(a)
+		case opSdg:
+			tab.Sdg(a)
+		case opCNOT:
+			tab.CNOT(a, int(op.b))
+		case opCZ:
+			tab.CZ(a, int(op.b))
+		case opSWAP:
+			tab.SWAP(a, int(op.b))
+		case opX:
+			tab.X(a)
+		case opY:
+			tab.Y(a)
+		case opZ:
+			tab.Z(a)
+		case opPrep:
+			tab.Reset(a)
+		case opMeas:
+			v, det := tab.Measure(a)
+			if !det {
+				return nil, fmt.Errorf("framesim: reference measurement of qubit %d is random; the frame engine needs a stabilized protocol state", a)
+			}
+			if v == 1 {
+				out[op.b] = ^uint64(0)
+			}
+		}
+	}
+	return out, nil
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runState is the mutable per-run state: frame planes, RNG, channel
+// samplers and scratch buffers. All scratch is allocated once per run;
+// the window loop itself is allocation-free.
+type runState struct {
+	b   *Batch
+	rng *rand.Rand
+
+	single, meas, pair sampler
+
+	r1, r2, diag, probeOut []uint64
+
+	script Script
+	round  int
+	active uint64
+	inj    [64]int
+}
+
+func (e *Engine) newRunState(seed int64, script Script) *runState {
+	st := &runState{
+		b:        NewBatch(e.n),
+		rng:      rand.New(rand.NewSource(seed)),
+		script:   script,
+		r1:       make([]uint64, e.esm.NumMeas()),
+		r2:       make([]uint64, e.esm.NumMeas()),
+		diag:     make([]uint64, e.esm.NumMeas()),
+		probeOut: make([]uint64, e.probe.NumMeas()),
+	}
+	if script == nil {
+		st.single = newSampler(e.p, st.rng)
+		st.meas = newSampler(e.pMeas, st.rng)
+		if e.corrPair {
+			st.pair = newSampler(e.p, st.rng)
+		}
+	}
+	return st
+}
+
+// RunBatch runs up to 64 Monte-Carlo shots in one word, all seeded from
+// one RNG derived from seed. Shot j terminates when it accumulates
+// MaxLogicalErrors or reaches MaxWindows; terminated lanes keep
+// propagating (their planes are dead weight in the words) but stop
+// accumulating statistics. Safe for concurrent use on one Engine.
+func (e *Engine) RunBatch(seed int64, shots int) ([]ShotResult, error) {
+	if shots < 1 || shots > 64 {
+		return nil, fmt.Errorf("framesim: batch width %d outside 1..64", shots)
+	}
+	st := e.newRunState(seed, nil)
+	var res [64]ShotResult
+	e.runWindows(st, &res, shots, 0, nil)
+	return append([]ShotResult(nil), res[:shots]...), nil
+}
+
+// RunScripted runs exactly `windows` QEC windows of a single shot with
+// the Script's errors injected instead of sampled noise (and without
+// reset gauge randomization), recording a WindowTrace per window. Caps
+// are ignored; the shot never terminates early. The differential test
+// feeds the same Script to an InjectLayer-instrumented QPDO stack and
+// requires bit-identical traces.
+func (e *Engine) RunScripted(windows int, script Script) ([]WindowTrace, ShotResult, error) {
+	if windows < 0 {
+		return nil, ShotResult{}, fmt.Errorf("framesim: negative window count %d", windows)
+	}
+	if script == nil {
+		script = Script{}
+	}
+	st := e.newRunState(0, script)
+	var res [64]ShotResult
+	traces := make([]WindowTrace, 0, windows)
+	e.runWindows(st, &res, 1, windows, &traces)
+	return traces, res[0], nil
+}
+
+// runWindows drives the window loop. In sampled mode (st.script == nil)
+// it runs until every lane of the first `shots` terminates; in scripted
+// mode it runs exactly scriptWindows windows on lane 0.
+func (e *Engine) runWindows(st *runState, res *[64]ShotResult, shots, scriptWindows int, traces *[]WindowTrace) {
+	active := ^uint64(0)
+	if shots < 64 {
+		active = uint64(1)<<uint(shots) - 1
+	}
+	var carryA, carryB, decA, decB [4]uint64
+	var a1, b1, a2, b2 [4]uint64
+	var corrMask [64]uint16
+	var expected uint64
+	w := 0
+	for {
+		if st.script == nil {
+			if active == 0 || w >= e.cfg.MaxWindows {
+				break
+			}
+		} else if w >= scriptWindows {
+			break
+		}
+		w++
+		st.active = active
+
+		// Two noisy ESM rounds.
+		e.runTape(st, e.esm, e.refESM, true, st.r1)
+		st.round++
+		e.runTape(st, e.esm, e.refESM, true, st.r2)
+		st.round++
+		gather(e, st.r1, &a1, &b1)
+		gather(e, st.r2, &a2, &b2)
+
+		// Word-parallel windowed decode per hardware group, then scalar
+		// LUT lookups only for lanes with a nonzero decoded syndrome.
+		nzA := e.decodeGroup(&a1, &a2, &carryA, &decA)
+		nzB := e.decodeGroup(&b1, &b2, &carryB, &decB)
+		var trA, trB uint16
+		for m := nzA; m != 0; m &= m - 1 {
+			j := bits.TrailingZeros64(m)
+			cm := uint16(e.lutA.CorrectionMask(synAt(&decA, j)))
+			corrMask[j] |= cm
+			if j == 0 {
+				trA = cm
+			}
+			applyCorr(st.b, cm, uint64(1)<<uint(j), e.gateAIsZ)
+		}
+		for m := nzB; m != 0; m &= m - 1 {
+			j := bits.TrailingZeros64(m)
+			cm := uint16(e.lutB.CorrectionMask(synAt(&decB, j)))
+			corrMask[j] |= cm
+			if j == 0 {
+				trB = cm
+			}
+			applyCorr(st.b, cm, uint64(1)<<uint(j), !e.gateAIsZ)
+		}
+		var hasCorr uint64
+		for m := nzA | nzB; m != 0; m &= m - 1 {
+			j := bits.TrailingZeros64(m)
+			if cm := corrMask[j]; cm != 0 {
+				hasCorr |= uint64(1) << uint(j)
+				if active>>uint(j)&1 == 1 {
+					res[j].CorrectionGates += bits.OnesCount16(cm)
+					res[j].CorrectionSlots++
+				}
+				corrMask[j] = 0
+			}
+		}
+		// Without a Pauli frame the correction slot executes physically
+		// and is itself noisy: one single-qubit channel site per qubit
+		// (correction operands and idles alike), applied only to the
+		// lanes that issued a correction. With a frame, the slot is
+		// absorbed and injects nothing. Scripted runs inject nothing here
+		// either — the QPDO-side InjectLayer skips 1-slot circuits.
+		if hasCorr != 0 && st.script == nil && !e.cfg.WithPauliFrame {
+			e.sampleCorrectionSlot(st, hasCorr)
+		}
+
+		// Noiseless diagnostic round; only all-clean lanes are probed.
+		e.runTape(st, e.esm, e.refESM, false, st.diag)
+		clean := ^uint64(0)
+		for _, v := range st.diag {
+			clean &^= v
+		}
+		e.runTape(st, e.probe, e.refProbe, false, st.probeOut)
+		out := st.probeOut[len(st.probeOut)-1]
+		flips := (out ^ expected) & clean
+		expected ^= flips
+		for m := flips & active; m != 0; m &= m - 1 {
+			j := bits.TrailingZeros64(m)
+			res[j].LogicalErrors++
+			if st.script == nil && res[j].LogicalErrors >= e.cfg.MaxLogicalErrors {
+				active &^= uint64(1) << uint(j)
+				res[j].Windows = w
+			}
+		}
+
+		if traces != nil {
+			var da, db [4]uint64
+			gather(e, st.diag, &da, &db)
+			tr := WindowTrace{
+				R1A: synAt(&a1, 0), R1B: synAt(&b1, 0),
+				R2A: synAt(&a2, 0), R2B: synAt(&b2, 0),
+				CorrA: trA, CorrB: trB,
+				DiagA: synAt(&da, 0), DiagB: synAt(&db, 0),
+				Clean: clean&1 == 1,
+				Probe: -1,
+			}
+			if tr.Clean {
+				tr.Probe = int(out & 1)
+			}
+			*traces = append(*traces, tr)
+		}
+	}
+	for j := 0; j < shots; j++ {
+		r := &res[j]
+		if active>>uint(j)&1 == 1 {
+			r.Windows = w
+		}
+		r.InjectedErrors = st.inj[j]
+		r.OpsIssued = r.Windows*2*e.esmOps + r.CorrectionGates
+		r.SlotsIssued = r.Windows*2*e.esmSlots + r.CorrectionSlots
+		r.OpsExecuted = r.OpsIssued
+		r.SlotsExecuted = r.SlotsIssued
+		if e.cfg.WithPauliFrame {
+			r.OpsExecuted -= r.CorrectionGates
+			r.SlotsExecuted -= r.CorrectionSlots
+		}
+	}
+}
+
+// runTape propagates all 64 frames through one tape. inject enables the
+// error sites (scripted or sampled); with inject false the tape runs
+// noiselessly and without gauge randomization (the diagnostic/probe
+// bypass semantics). out receives one outcome word per measurement site:
+// reference XOR the frame's X plane.
+func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out []uint64) {
+	b := st.b
+	noisy := inject && st.script == nil
+	for i := range t.ops {
+		op := &t.ops[i]
+		a := int(op.a)
+		switch op.code {
+		case opH:
+			b.H(a)
+		case opS, opSdg:
+			b.S(a)
+		case opCNOT:
+			b.CNOT(a, int(op.b))
+		case opCZ:
+			b.CZ(a, int(op.b))
+		case opSWAP:
+			b.SWAP(a, int(op.b))
+		case opX, opY, opZ:
+			// Applied in both reference and shots: frame unchanged.
+		case opPrep:
+			b.fx[a] = 0
+			if noisy {
+				// Reset gauge randomization: the post-reset state is a Z
+				// eigenstate, so a Z frame component is unobservable —
+				// randomizing it keeps the frame distribution faithful.
+				b.fz[a] = st.rng.Uint64()
+			} else {
+				b.fz[a] = 0
+			}
+		case opMeas:
+			out[op.b] = b.fx[a] ^ ref[op.b]
+			if noisy {
+				b.fz[a] = st.rng.Uint64()
+			}
+		case opErrMeas:
+			if !inject {
+				continue
+			}
+			if st.script != nil {
+				if pp, ok := st.script[Site{st.round, int(op.slot), KindMeas, a, -1}]; ok {
+					e.applyScripted(st, a, pp[0])
+				}
+				continue
+			}
+			s := &st.meas
+			for s.next < 64 {
+				j := uint(s.next)
+				bit := uint64(1) << j
+				b.fx[a] ^= bit
+				if st.active&bit != 0 {
+					st.inj[j]++
+				}
+				s.next += s.gap(st.rng)
+			}
+			s.advanceWord()
+		case opErrSingle:
+			if !inject {
+				continue
+			}
+			if st.script != nil {
+				if pp, ok := st.script[Site{st.round, int(op.slot), KindSingle, a, -1}]; ok {
+					e.applyScripted(st, a, pp[0])
+				}
+				continue
+			}
+			s := &st.single
+			for s.next < 64 {
+				e.applySingleHit(st, a, uint(s.next))
+				s.next += s.gap(st.rng)
+			}
+			s.advanceWord()
+		case opErrPair:
+			if !inject {
+				continue
+			}
+			qb := int(op.b)
+			if st.script != nil {
+				if pp, ok := st.script[Site{st.round, int(op.slot), KindPair, a, qb}]; ok {
+					e.applyScripted(st, a, pp[0])
+					e.applyScripted(st, qb, pp[1])
+				}
+				continue
+			}
+			if e.corrPair {
+				s := &st.pair
+				for s.next < 64 {
+					e.applyPairHit(st, a, qb, uint(s.next))
+					s.next += s.gap(st.rng)
+				}
+				s.advanceWord()
+			} else {
+				// Uncorrelated model: each operand takes the single
+				// channel independently, in operand order.
+				s := &st.single
+				for s.next < 64 {
+					e.applySingleHit(st, a, uint(s.next))
+					s.next += s.gap(st.rng)
+				}
+				s.advanceWord()
+				for s.next < 64 {
+					e.applySingleHit(st, qb, uint(s.next))
+					s.next += s.gap(st.rng)
+				}
+				s.advanceWord()
+			}
+		}
+	}
+}
+
+// applySingleHit applies one single-qubit channel hit on lane j: the
+// conditional Pauli kind given a hit (PX/P, PY/P, PZ/P).
+func (e *Engine) applySingleHit(st *runState, q int, j uint) {
+	bit := uint64(1) << j
+	v := st.rng.Float64() * e.p
+	switch {
+	case v < e.px:
+		st.b.fx[q] ^= bit
+	case v < e.pxy:
+		st.b.fx[q] ^= bit
+		st.b.fz[q] ^= bit
+	default:
+		st.b.fz[q] ^= bit
+	}
+	if st.active&bit != 0 {
+		st.inj[j]++
+	}
+}
+
+// applyPairHit applies one correlated two-qubit hit on lane j: one of the
+// 15 non-trivial pairs, uniformly.
+func (e *Engine) applyPairHit(st *runState, qa, qb int, j uint) {
+	bit := uint64(1) << j
+	pr := pairTable[st.rng.Intn(len(pairTable))]
+	if pr[0]&ErrX != 0 {
+		st.b.fx[qa] ^= bit
+	}
+	if pr[0]&ErrZ != 0 {
+		st.b.fz[qa] ^= bit
+	}
+	if pr[1]&ErrX != 0 {
+		st.b.fx[qb] ^= bit
+	}
+	if pr[1]&ErrZ != 0 {
+		st.b.fz[qb] ^= bit
+	}
+	if st.active&bit != 0 {
+		st.inj[j]++
+	}
+}
+
+// applyScripted injects a scripted Pauli on every lane (scripted runs are
+// single-shot; broadcasting keeps lane 0 correct and the rest unused).
+func (e *Engine) applyScripted(st *runState, q int, p PauliErr) {
+	if p == ErrNone {
+		return
+	}
+	if p&ErrX != 0 {
+		st.b.fx[q] ^= ^uint64(0)
+	}
+	if p&ErrZ != 0 {
+		st.b.fz[q] ^= ^uint64(0)
+	}
+	st.inj[0]++
+}
+
+// sampleCorrectionSlot applies the physical correction slot's error
+// opportunities: one single-qubit channel site per qubit (the corrected
+// qubits execute Pauli gates, the rest idle — all take the same channel),
+// masked to the lanes that actually issued a correction slot. Trials for
+// masked-out lanes are consumed but not applied, which preserves both
+// the per-lane distribution and seed determinism.
+func (e *Engine) sampleCorrectionSlot(st *runState, hasCorr uint64) {
+	s := &st.single
+	for q := 0; q < e.n; q++ {
+		for s.next < 64 {
+			j := uint(s.next)
+			if hasCorr>>j&1 == 1 {
+				e.applySingleHit(st, q, j)
+			}
+			s.next += s.gap(st.rng)
+		}
+		s.advanceWord()
+	}
+}
+
+// decodeGroup applies the windowed decoding rule word-parallel for one
+// hardware group: r1/r2 are the two fresh rounds as syndrome bit-planes,
+// carry is the persistent carried round. dec receives the decoded
+// syndrome planes; the return value is the lane mask with a nonzero
+// decoded syndrome (the only lanes needing scalar LUT work).
+func (e *Engine) decodeGroup(r1, r2, carry, dec *[4]uint64) uint64 {
+	if e.intersection {
+		for i := 0; i < 4; i++ {
+			dec[i] = (carry[i] & r1[i]) | (r1[i] & r2[i]) | (carry[i] & r2[i])
+			carry[i] = r2[i]
+		}
+		return dec[0] | dec[1] | dec[2] | dec[3]
+	}
+	diff12 := (r1[0] ^ r2[0]) | (r1[1] ^ r2[1]) | (r1[2] ^ r2[2]) | (r1[3] ^ r2[3])
+	diffC1 := (carry[0] ^ r1[0]) | (carry[1] ^ r1[1]) | (carry[2] ^ r1[2]) | (carry[3] ^ r1[3])
+	eq12, eqC1 := ^diff12, ^diffC1
+	decMask := eq12 | eqC1
+	// Lanes decoding via the carried round remove the confirmed part
+	// from the next carry (decoder.WindowDecoder's carry adjustment).
+	adjust := eqC1 &^ eq12
+	for i := 0; i < 4; i++ {
+		carry[i] = r2[i] ^ (r1[i] & adjust)
+		dec[i] = r1[i] & decMask
+	}
+	return dec[0] | dec[1] | dec[2] | dec[3]
+}
+
+// gather scatters per-site outcome words into syndrome bit-planes per
+// hardware group.
+func gather(e *Engine, out []uint64, a, b *[4]uint64) {
+	for i, v := range out {
+		if e.groupOfSite[i] == 0 {
+			a[e.bitOfSite[i]] = v
+		} else {
+			b[e.bitOfSite[i]] = v
+		}
+	}
+}
+
+// synAt extracts the scalar syndrome of lane j from bit-planes.
+func synAt(p *[4]uint64, j int) decoder.Syndrome {
+	return decoder.Syndrome((p[0]>>uint(j))&1 |
+		(p[1]>>uint(j))&1<<1 |
+		(p[2]>>uint(j))&1<<2 |
+		(p[3]>>uint(j))&1<<3)
+}
+
+// applyCorr XORs a decoded correction mask into one lane's frame: Z
+// corrections into the Z planes, X corrections into the X planes. This
+// models both stack variants at once — a physical correction gate and a
+// frame-absorbed correction differ from the reference by the same Pauli.
+func applyCorr(b *Batch, cm uint16, lane uint64, asZ bool) {
+	for m := cm; m != 0; m &= m - 1 {
+		d := bits.TrailingZeros16(m)
+		if asZ {
+			b.fz[d] ^= lane
+		} else {
+			b.fx[d] ^= lane
+		}
+	}
+}

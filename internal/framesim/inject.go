@@ -1,0 +1,158 @@
+package framesim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// PauliErr is a Pauli error in symplectic form: bit 0 is the X component,
+// bit 1 the Z component (Y = both, matching the frame's bit planes).
+type PauliErr uint8
+
+// Pauli error values.
+const (
+	ErrNone PauliErr = 0
+	ErrX    PauliErr = 1
+	ErrZ    PauliErr = 2
+	ErrY    PauliErr = ErrX | ErrZ
+)
+
+// Gate returns the physical Pauli gate realizing the error, or nil for
+// ErrNone.
+func (p PauliErr) Gate() *gates.Gate {
+	switch p {
+	case ErrX:
+		return gates.X
+	case ErrZ:
+		return gates.Z
+	case ErrY:
+		return gates.Y
+	}
+	return nil
+}
+
+// SiteKind classifies an error-injection site.
+type SiteKind uint8
+
+// Site kinds, mirroring the three channel classes of layers.ErrorLayer.
+const (
+	// KindSingle is the single-qubit channel after a gate operand, reset,
+	// identity, or idle slot.
+	KindSingle SiteKind = iota
+	// KindMeas is the X-flip channel immediately before a measurement.
+	KindMeas
+	// KindPair is the correlated two-qubit channel after a two-qubit gate.
+	KindPair
+)
+
+// Site addresses one error-injection opportunity of a protocol run:
+// Round counts the noisy multi-slot circuits (ESM rounds) executed so
+// far, Slot is the time-slot index within that circuit, and A/B are the
+// physical qubit operands (B is -1 except for pair sites).
+type Site struct {
+	Round int
+	Slot  int
+	Kind  SiteKind
+	A, B  int
+}
+
+// Script maps injection sites to the exact Pauli errors to apply there;
+// element 1 is only used by pair sites (error on operand B). A Script
+// replaces random sampling entirely, which is what makes the differential
+// test bit-exact: the frame engine and the QPDO stack consume the same
+// Script and must emit identical syndrome streams.
+type Script map[Site][2]PauliErr
+
+// InjectLayer is the QPDO-side counterpart of scripted injection: a layer
+// that rewrites circuits like layers.ErrorLayer but injects the Script's
+// errors instead of sampling. Site enumeration matches the error layer —
+// pre-slot X for measurement sites, post-slot for gate, pair and idle
+// sites. Bypass-mode circuits and circuits with fewer than two time slots
+// (correction slots, logical chain slots) are forwarded untouched and do
+// not consume a Round ordinal; every other circuit is one Round. This
+// matches the frame engine, whose round counter advances only on noisy
+// ESM tape executions.
+type InjectLayer struct {
+	qpdo.Forwarder
+	// Script holds the errors to inject.
+	Script Script
+	// Round is the next round ordinal (exported for test assertions).
+	Round  int
+	bypass bool
+}
+
+// NewInjectLayer stacks a scripted injector above next.
+func NewInjectLayer(next qpdo.Core, script Script) *InjectLayer {
+	return &InjectLayer{Forwarder: qpdo.Forwarder{Next: next}, Script: script}
+}
+
+// SetBypass pauses injection for diagnostic circuits and forwards the
+// toggle.
+func (l *InjectLayer) SetBypass(on bool) {
+	l.bypass = on
+	l.Next.SetBypass(on)
+}
+
+// Add rewrites the circuit with the scripted errors and forwards it.
+func (l *InjectLayer) Add(c *circuit.Circuit) error {
+	if l.bypass || c.NumSlots() < 2 {
+		return l.Next.Add(c)
+	}
+	round := l.Round
+	l.Round++
+	n := l.Next.NumQubits()
+	busy := make([]bool, n)
+	out := circuit.New()
+	for si := range c.Slots {
+		slot := &c.Slots[si]
+		var pre, post []circuit.Operation
+		appendErr := func(ops []circuit.Operation, p PauliErr, q int) []circuit.Operation {
+			if g := p.Gate(); g != nil {
+				ops = append(ops, circuit.NewOp(g, q))
+			}
+			return ops
+		}
+		for _, op := range slot.Ops {
+			for _, q := range op.Qubits {
+				if q < n {
+					busy[q] = true
+				}
+			}
+			switch {
+			case op.Gate.Class == gates.ClassMeasure:
+				if pp, ok := l.Script[Site{round, si, KindMeas, op.Qubits[0], -1}]; ok {
+					pre = appendErr(pre, pp[0], op.Qubits[0])
+				}
+			case op.Gate.Arity == 2:
+				if pp, ok := l.Script[Site{round, si, KindPair, op.Qubits[0], op.Qubits[1]}]; ok {
+					post = appendErr(post, pp[0], op.Qubits[0])
+					post = appendErr(post, pp[1], op.Qubits[1])
+				}
+			default:
+				for _, q := range op.Qubits {
+					if pp, ok := l.Script[Site{round, si, KindSingle, q, -1}]; ok {
+						post = appendErr(post, pp[0], q)
+					}
+				}
+			}
+		}
+		for q := 0; q < n; q++ {
+			if busy[q] {
+				busy[q] = false
+				continue
+			}
+			if pp, ok := l.Script[Site{round, si, KindSingle, q, -1}]; ok {
+				post = appendErr(post, pp[0], q)
+			}
+		}
+		if len(pre) > 0 {
+			out.AddParallel(pre...)
+		}
+		out.AddParallel(slot.Ops...)
+		if len(post) > 0 {
+			out.AddParallel(post...)
+		}
+	}
+	return l.Next.Add(out)
+}

@@ -1,0 +1,79 @@
+package framesim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sampler draws hit positions for one Bernoulli error channel across the
+// flattened trial space (site × 64 shots) with geometric gap sampling:
+// instead of one uniform draw per (site, shot) trial, the sampler draws
+// the gap to the next hit — Geometric(p) — and skips everything in
+// between. At the physical error rates of the LER sweeps (p ~ 1e-3) this
+// replaces thousands of RNG calls per ESM round with a handful.
+//
+// next is the offset of the next hit inside the current 64-trial word;
+// the executor consumes one word per error site and carries the residual
+// offset to the following site via advanceWord.
+type sampler struct {
+	p    float64
+	lp   float64 // log(1 - p), the geometric decay constant
+	next int64
+}
+
+// disabledNext parks a zero-probability sampler beyond every word without
+// risking overflow when advanceWord would decrement it.
+const disabledNext = int64(math.MaxInt64 / 2)
+
+// newSampler primes a sampler, consuming one gap draw when p > 0.
+func newSampler(p float64, rng *rand.Rand) sampler {
+	s := sampler{p: p}
+	if p <= 0 {
+		s.next = disabledNext
+		return s
+	}
+	if p < 1 {
+		s.lp = math.Log1p(-p)
+	}
+	s.next = s.gap(rng) - 1
+	return s
+}
+
+// gap draws the 1-based distance to the next hit: Geometric(p) via
+// inversion, ⌊log(1−u)/log(1−p)⌋ + 1.
+func (s *sampler) gap(rng *rand.Rand) int64 {
+	if s.p >= 1 {
+		return 1
+	}
+	g := math.Log1p(-rng.Float64()) / s.lp
+	if g >= float64(disabledNext) {
+		return disabledNext
+	}
+	return int64(g) + 1
+}
+
+// advanceWord moves the trial window past the 64 trials of one site.
+func (s *sampler) advanceWord() {
+	if s.p > 0 {
+		s.next -= 64
+	}
+}
+
+// pairTable lists the 15 equally likely correlated two-qubit error pairs
+// in the order of layers.twoQubitErrorTable: ({I,X,Y,Z}² minus II),
+// first operand outermost.
+var pairTable = func() [15][2]PauliErr {
+	set := [4]PauliErr{ErrNone, ErrX, ErrY, ErrZ}
+	var out [15][2]PauliErr
+	i := 0
+	for _, a := range set {
+		for _, b := range set {
+			if a == ErrNone && b == ErrNone {
+				continue
+			}
+			out[i] = [2]PauliErr{a, b}
+			i++
+		}
+	}
+	return out
+}()

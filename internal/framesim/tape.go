@@ -1,0 +1,191 @@
+package framesim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qpdo"
+)
+
+// opcode is one instruction of the flat tape a circuit compiles to.
+type opcode uint8
+
+const (
+	// Clifford conjugation ops (frame + reference).
+	opH opcode = iota
+	opS
+	opSdg
+	opCNOT
+	opCZ
+	opSWAP
+	// Physical Pauli gates: applied in both the reference and every shot,
+	// so they commute through the frame — reference-only instructions.
+	opX
+	opY
+	opZ
+	// Initialization and measurement.
+	opPrep
+	opMeas
+	// Error-injection sites, in the exact per-slot order of
+	// layers.ErrorLayer: a pre-measurement X site per measurement, a
+	// channel site per gate operand or gate pair, and one idle site per
+	// untouched qubit after the slot's gates.
+	opErrSingle
+	opErrMeas
+	opErrPair
+)
+
+// tapeOp is one tape instruction. a (and b for two-qubit codes) are
+// physical qubit operands; for opMeas, b is the measurement site index.
+// slot is the time-slot index of the source circuit, which keys scripted
+// error injection.
+type tapeOp struct {
+	code opcode
+	slot int16
+	a, b int32
+}
+
+// Tape is a circuit compiled to a flat instruction stream: gate opcodes,
+// qubit operands, and explicit error-injection and measurement sites.
+// One Tape is compiled per protocol circuit and replayed every round by
+// both the bit-sliced frame executor and the noiseless CHP reference.
+type Tape struct {
+	n    int
+	ops  []tapeOp
+	meas []int // meas[i] = qubit measured at site i, in tape order
+}
+
+// NumQubits returns the width the tape was compiled for.
+func (t *Tape) NumQubits() int { return t.n }
+
+// NumMeas returns the number of measurement sites.
+func (t *Tape) NumMeas() int { return len(t.meas) }
+
+// MeasQubit returns the qubit measured at site i.
+func (t *Tape) MeasQubit(i int) int { return t.meas[i] }
+
+// NumOps returns the number of tape instructions (including error sites).
+func (t *Tape) NumOps() int { return len(t.ops) }
+
+// Sites lists the error-injection sites of one execution of the tape in
+// tape order, with Round set to 0; callers replaying the tape as round r
+// of a protocol offset Round themselves. Used by the differential tests
+// to enumerate the legal injection points.
+func (t *Tape) Sites() []Site {
+	var out []Site
+	for _, op := range t.ops {
+		switch op.code {
+		case opErrSingle:
+			out = append(out, Site{Slot: int(op.slot), Kind: KindSingle, A: int(op.a), B: -1})
+		case opErrMeas:
+			out = append(out, Site{Slot: int(op.slot), Kind: KindMeas, A: int(op.a), B: -1})
+		case opErrPair:
+			out = append(out, Site{Slot: int(op.slot), Kind: KindPair, A: int(op.a), B: int(op.b)})
+		}
+	}
+	return out
+}
+
+// Compile flattens a circuit into a tape for a stack of n qubits. The
+// error-site emission mirrors layers.ErrorLayer exactly: measurements get
+// a pre-slot X-flip site; two-qubit gates get a (potentially correlated)
+// pair site after the slot; every other operation — reset, single-qubit
+// gates, explicit identities — gets a single-qubit channel site per
+// operand after the slot; and every qubit not touched by the slot idles
+// through one single-qubit channel site. Within a slot the operations act
+// on disjoint qubits (enforced by validation), so interleaving each op's
+// sites with the op itself is equivalent to the layer's pre/post slots.
+//
+// Compile returns an error — never panics — on malformed input: qubit
+// collisions within a slot, out-of-range operands, or gates outside the
+// Clifford+Pauli+Prep/Measure set the frame can propagate.
+func Compile(c *circuit.Circuit, n int) (*Tape, error) {
+	if c == nil {
+		return nil, fmt.Errorf("framesim: cannot compile a nil circuit")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("framesim: cannot compile for %d qubits", n)
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("framesim: %d qubits exceeds the tape operand range", n)
+	}
+	if len(c.Slots) > 1<<15-1 {
+		return nil, fmt.Errorf("framesim: %d time slots exceeds the tape slot range", len(c.Slots))
+	}
+	if err := qpdo.Validate(c, n); err != nil {
+		return nil, err
+	}
+	t := &Tape{n: n}
+	busy := make([]bool, n)
+	for si := range c.Slots {
+		slot := &c.Slots[si]
+		for oi := range slot.Ops {
+			op := &slot.Ops[oi]
+			if op.Gate == nil {
+				return nil, fmt.Errorf("framesim: slot %d op %d has no gate", si, oi)
+			}
+			if op.Gate.Arity != len(op.Qubits) {
+				return nil, fmt.Errorf("framesim: slot %d op %d: gate %s wants %d qubits, got %d",
+					si, oi, op.Gate.Name, op.Gate.Arity, len(op.Qubits))
+			}
+			for _, q := range op.Qubits {
+				busy[q] = true
+			}
+			s16 := int16(si)
+			switch op.Gate.Name {
+			case gates.GateH:
+				t.emit(opH, s16, op.Qubits[0], -1)
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.GateS:
+				t.emit(opS, s16, op.Qubits[0], -1)
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.GateSdg:
+				t.emit(opSdg, s16, op.Qubits[0], -1)
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.GateCNOT:
+				t.emit(opCNOT, s16, op.Qubits[0], op.Qubits[1])
+				t.emit(opErrPair, s16, op.Qubits[0], op.Qubits[1])
+			case gates.GateCZ:
+				t.emit(opCZ, s16, op.Qubits[0], op.Qubits[1])
+				t.emit(opErrPair, s16, op.Qubits[0], op.Qubits[1])
+			case gates.GateSWAP:
+				t.emit(opSWAP, s16, op.Qubits[0], op.Qubits[1])
+				t.emit(opErrPair, s16, op.Qubits[0], op.Qubits[1])
+			case gates.GateX:
+				t.emit(opX, s16, op.Qubits[0], -1)
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.GateY:
+				t.emit(opY, s16, op.Qubits[0], -1)
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.GateZ:
+				t.emit(opZ, s16, op.Qubits[0], -1)
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.GateI:
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.PrepZ:
+				t.emit(opPrep, s16, op.Qubits[0], -1)
+				t.emit(opErrSingle, s16, op.Qubits[0], -1)
+			case gates.MeasZ:
+				t.emit(opErrMeas, s16, op.Qubits[0], -1)
+				t.emit(opMeas, s16, op.Qubits[0], len(t.meas))
+				t.meas = append(t.meas, op.Qubits[0])
+			default:
+				return nil, fmt.Errorf("framesim: gate %s has no frame propagation rule", op.Gate.Name)
+			}
+		}
+		// Idle sites for the qubits the slot did not touch, ascending.
+		for q := 0; q < n; q++ {
+			if busy[q] {
+				busy[q] = false
+				continue
+			}
+			t.emit(opErrSingle, int16(si), q, -1)
+		}
+	}
+	return t, nil
+}
+
+func (t *Tape) emit(code opcode, slot int16, a, b int) {
+	t.ops = append(t.ops, tapeOp{code: code, slot: slot, a: int32(a), b: int32(b)})
+}

@@ -324,3 +324,19 @@ func (c *ChpCore) SetBypass(bool) {}
 // Tableau returns the live underlying tableau for white-box tests and
 // fast stabilizer queries by the experiment harness.
 func (c *ChpCore) Tableau() *chp.Tableau { return c.tab }
+
+// Reset restores every addressable qubit to a pristine |0⟩ and replaces
+// the measurement RNG, reusing the tableau allocation. Together with the
+// other layers' Reset/Reconfigure methods this lets a Monte-Carlo worker
+// recycle one stack across samples with results bit-identical to a
+// freshly built stack.
+func (c *ChpCore) Reset(rng *rand.Rand) {
+	c.rng = rng
+	if c.tab != nil {
+		c.tab.Reinit(rng)
+	}
+	for q := range c.binary {
+		c.binary[q] = qpdo.StateZero
+	}
+	c.queue = c.queue[:0]
+}

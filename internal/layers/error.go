@@ -85,6 +85,21 @@ func (e *ErrorLayer) SetBypass(on bool) {
 	e.Next.SetBypass(on)
 }
 
+// Reconfigure swaps in a new channel and RNG and clears the statistics,
+// restoring the layer to its freshly built state (stack reuse across
+// Monte-Carlo samples). It panics on an invalid model, like the
+// constructor.
+func (e *ErrorLayer) Reconfigure(m Model, rng *rand.Rand) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	e.P = m.TotalSingle()
+	e.Model = m
+	e.Stats = ErrorStats{}
+	e.rng = rng
+	e.bypass = false
+}
+
 // twoQubitErrorTable lists the 15 equally likely error pairs for
 // two-qubit gates; nil means identity on that operand.
 var twoQubitErrorTable = func() [][2]*gates.Gate {

@@ -44,6 +44,16 @@ func NewPauliFrameLayer(next qpdo.Core) *PauliFrameLayer {
 	}
 }
 
+// Reset clears every Pauli record, the pending measurement flips, the
+// arbiter statistics and the slot-saving counter, restoring the layer to
+// its freshly built state (stack reuse across Monte-Carlo samples).
+func (l *PauliFrameLayer) Reset() {
+	l.PFU.Frame.Clear()
+	l.PFU.Stats = core.Stats{}
+	l.pendingFlips = l.pendingFlips[:0]
+	l.SlotsSaved = 0
+}
+
 // CreateQubits grows the frame alongside the stack.
 func (l *PauliFrameLayer) CreateQubits(n int) error {
 	if err := l.Next.CreateQubits(n); err != nil {

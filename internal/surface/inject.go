@@ -76,7 +76,7 @@ func (l *NinjaStarLayer) InjectState(i int, prepare func(phys int) *circuit.Circ
 	}
 
 	// Step 4: restricted sign fixes.
-	if corr := injectLUT.Decode(round.A); len(corr) > 0 {
+	if corr := injectLUT.Corrections(round.A); len(corr) > 0 {
 		c := circuit.New()
 		slot := c.AppendSlot()
 		for _, d := range corr {

@@ -363,8 +363,8 @@ func (l *NinjaStarLayer) resetStar(st *starState) error {
 			return err
 		}
 	}
-	corrA := lutA.Decode(round.A)
-	corrB := lutB.Decode(round.B)
+	corrA := lutA.Corrections(round.A)
+	corrB := lutB.Corrections(round.B)
 	if c := l.correctionCircuit(st, corrA, corrB); c != nil {
 		if err := l.runLower(c); err != nil {
 			return err
@@ -446,7 +446,7 @@ func (l *NinjaStarLayer) measureStar(st *starState) (int, error) {
 	if st.star.Rotation == RotRotated {
 		lut = lutA
 	}
-	for _, d := range lut.Decode(persistent) {
+	for _, d := range lut.Corrections(persistent) {
 		vals[d] ^= 1
 	}
 
