@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -106,7 +107,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.Table(pts, fmt.Sprintf("PER vs LER, logical %s errors, %s", et, label)))
-		if th := experiments.PseudoThreshold(pts); th == th { // not NaN
+		if th := experiments.PseudoThreshold(pts); !math.IsNaN(th) {
 			fmt.Printf("pseudo-threshold (LER = PER crossing): %.3e  [thesis: ≈3.0e-4]\n\n", th)
 		} else {
 			fmt.Println("pseudo-threshold: no crossing in range")

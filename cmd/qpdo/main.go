@@ -18,6 +18,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 
 	"repro/internal/layers"
 	"repro/internal/qasm"
@@ -98,8 +99,13 @@ func main() {
 	}
 
 	fmt.Printf("\nmeasurement histogram over %d shot(s):\n", *shots)
-	for k, n := range counts {
-		fmt.Printf("  %4d  %s\n", n, k)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %4d  %s\n", counts[k], k)
 	}
 }
 

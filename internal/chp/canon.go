@@ -20,6 +20,9 @@ func (t *Tableau) packString(ps pauli.PauliString) packedRow {
 	if ps.Negative {
 		row.r = 1
 	}
+	// Order-free: per-qubit OR into disjoint bit positions, plus the
+	// bounds-check panic guard.
+	//qa:allow determinism
 	for q, p := range ps.Ops {
 		t.check(q)
 		if p.HasX() {
@@ -203,6 +206,8 @@ func (t *Tableau) ExpectPauli(ps pauli.PauliString) (value int, deterministic bo
 	for w := 0; w < rw; w++ {
 		a[w] = 0
 	}
+	// Order-free: XOR accumulation into the parity planes commutes.
+	//qa:allow determinism
 	for q, p := range ps.Ops {
 		t.check(q)
 		if p.HasX() {

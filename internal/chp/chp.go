@@ -171,6 +171,8 @@ func prefixParity64(x uint64) uint64 {
 // updates: it is zeroed before every use, so stale bits are harmless.
 
 // H applies a Hadamard gate to qubit q: X↔Z per row, sign flips on Y.
+//
+//qa:hotpath
 func (t *Tableau) H(q int) {
 	t.check(q)
 	x, z, s := t.xcol(q), t.zcol(q), t.sign
@@ -182,6 +184,8 @@ func (t *Tableau) H(q int) {
 }
 
 // S applies the phase gate to qubit q: X→Y, Y→−X.
+//
+//qa:hotpath
 func (t *Tableau) S(q int) {
 	t.check(q)
 	x, z, s := t.xcol(q), t.zcol(q), t.sign
@@ -193,6 +197,8 @@ func (t *Tableau) S(q int) {
 }
 
 // Sdg applies the inverse phase gate directly: X→−Y, Y→X.
+//
+//qa:hotpath
 func (t *Tableau) Sdg(q int) {
 	t.check(q)
 	x, z, s := t.xcol(q), t.zcol(q), t.sign
@@ -205,6 +211,8 @@ func (t *Tableau) Sdg(q int) {
 
 // X applies a Pauli-X gate: conjugation flips the sign of rows with a Z
 // component on q.
+//
+//qa:hotpath
 func (t *Tableau) X(q int) {
 	t.check(q)
 	z, s := t.zcol(q), t.sign
@@ -214,6 +222,8 @@ func (t *Tableau) X(q int) {
 }
 
 // Z applies a Pauli-Z gate.
+//
+//qa:hotpath
 func (t *Tableau) Z(q int) {
 	t.check(q)
 	x, s := t.xcol(q), t.sign
@@ -223,6 +233,8 @@ func (t *Tableau) Z(q int) {
 }
 
 // Y applies a Pauli-Y gate.
+//
+//qa:hotpath
 func (t *Tableau) Y(q int) {
 	t.check(q)
 	x, z, s := t.xcol(q), t.zcol(q), t.sign
@@ -232,6 +244,8 @@ func (t *Tableau) Y(q int) {
 }
 
 // CNOT applies a controlled-NOT with control c and target d.
+//
+//qa:hotpath
 func (t *Tableau) CNOT(c, d int) {
 	t.check(c)
 	t.check(d)
@@ -253,6 +267,8 @@ func (t *Tableau) CNOT(c, d int) {
 // CZ applies a controlled-Z gate: X_a→X_aZ_b, X_b→X_bZ_a, sign flips on
 // X⊗X-type rows with unequal Z components (the H·CNOT·H composition
 // collapsed into one word-parallel pass).
+//
+//qa:hotpath
 func (t *Tableau) CZ(a, b int) {
 	t.check(a)
 	t.check(b)
@@ -273,6 +289,8 @@ func (t *Tableau) CZ(a, b int) {
 
 // SWAP exchanges two qubits by swapping their column planes; no row sign
 // ever changes under relabeling.
+//
+//qa:hotpath
 func (t *Tableau) SWAP(a, b int) {
 	t.check(a)
 	t.check(b)
@@ -289,6 +307,8 @@ func (t *Tableau) SWAP(a, b int) {
 
 // Measure performs a computational-basis measurement of qubit q,
 // returning 0 or 1 and whether the outcome was deterministic.
+//
+//qa:hotpath
 func (t *Tableau) Measure(q int) (outcome int, deterministic bool) {
 	t.check(q)
 	x := t.xcol(q)
@@ -309,6 +329,8 @@ func (t *Tableau) Measure(q int) (outcome int, deterministic bool) {
 // The update is exactly the sequence of Aaronson–Gottesman rowsums of the
 // row-major layout (each absorbing row reads only itself and the
 // unchanged pivot), so seeded runs stay bit-for-bit reproducible.
+//
+//qa:hotpath
 func (t *Tableau) measureRandom(q, p int) int {
 	n, rw := t.n, t.rowWords
 	d := p - n // destabilizer partner of the pivot
@@ -399,6 +421,8 @@ func (t *Tableau) measureRandom(q, p int) int {
 // columns commute, the sign of the ordered row product factors into
 // per-column phases, each computed word-parallel across all selected
 // rows from popcounts and a prefix-parity word.
+//
+//qa:hotpath
 func (t *Tableau) measureDeterministic(q int) int {
 	n, rw := t.n, t.rowWords
 	md := t.m
@@ -423,6 +447,8 @@ func (t *Tableau) measureDeterministic(q int) int {
 // the second counts the Z·X reorderings, the last renormalizes the
 // result. The middle sum needs only its parity, which one prefix-parity
 // word per 64 rows delivers without iterating the selected rows.
+//
+//qa:hotpath
 func (t *Tableau) productSignExponent(ms []uint64) int {
 	n, rw := t.n, t.rowWords
 	e := 0

@@ -323,6 +323,9 @@ func (t *Reference) ExpectPauli(ps pauli.PauliString) (value int, deterministic 
 	if ps.Negative {
 		row.r = 1
 	}
+	// Order-free: per-qubit OR into disjoint bit positions, plus the
+	// bounds-check panic guard.
+	//qa:allow determinism
 	for q, p := range ps.Ops {
 		t.check(q)
 		if p.HasX() {

@@ -142,8 +142,9 @@ func HasMappingTable(name gates.Name) bool {
 	switch name {
 	case gates.GateH, gates.GateS, gates.GateSdg, gates.GateCNOT, gates.GateCZ, gates.GateSWAP:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // FlushGate returns the physical gate that realizes the pending record of

@@ -29,6 +29,8 @@ func NewBatch(n int) *Batch {
 func (b *Batch) NumQubits() int { return b.n }
 
 // Reset clears every frame to the identity.
+//
+//qa:hotpath
 func (b *Batch) Reset() {
 	for i := range b.fx {
 		b.fx[i] = 0
@@ -43,18 +45,24 @@ func (b *Batch) Reset() {
 // Pauli *errors* enter via XorX/XorZ.
 
 // H conjugates the frames of qubit q by a Hadamard: X ↔ Z.
+//
+//qa:hotpath
 func (b *Batch) H(q int) {
 	b.fx[q], b.fz[q] = b.fz[q], b.fx[q]
 }
 
 // S conjugates by the phase gate: X → Y (Z ^= X), Z fixed. S† acts
 // identically on the sign-free frame.
+//
+//qa:hotpath
 func (b *Batch) S(q int) {
 	b.fz[q] ^= b.fx[q]
 }
 
 // CNOT conjugates by a controlled-NOT: X copies control→target, Z copies
 // target→control.
+//
+//qa:hotpath
 func (b *Batch) CNOT(c, t int) {
 	b.fx[t] ^= b.fx[c]
 	b.fz[c] ^= b.fz[t]
@@ -62,31 +70,45 @@ func (b *Batch) CNOT(c, t int) {
 
 // CZ conjugates by a controlled-Z: an X on either operand toggles Z on
 // the other.
+//
+//qa:hotpath
 func (b *Batch) CZ(p, q int) {
 	b.fz[q] ^= b.fx[p]
 	b.fz[p] ^= b.fx[q]
 }
 
 // SWAP exchanges the frames of the two operands.
+//
+//qa:hotpath
 func (b *Batch) SWAP(p, q int) {
 	b.fx[p], b.fx[q] = b.fx[q], b.fx[p]
 	b.fz[p], b.fz[q] = b.fz[q], b.fz[p]
 }
 
 // XorX injects an X error into qubit q for the shots selected by mask.
+//
+//qa:hotpath
 func (b *Batch) XorX(q int, mask uint64) { b.fx[q] ^= mask }
 
 // XorZ injects a Z error into qubit q for the shots selected by mask.
+//
+//qa:hotpath
 func (b *Batch) XorZ(q int, mask uint64) { b.fz[q] ^= mask }
 
 // X returns the X bit-plane of qubit q.
+//
+//qa:hotpath
 func (b *Batch) X(q int) uint64 { return b.fx[q] }
 
 // Z returns the Z bit-plane of qubit q.
+//
+//qa:hotpath
 func (b *Batch) Z(q int) uint64 { return b.fz[q] }
 
 // ClearQubit zeroes both planes of qubit q (reset of a physical qubit
 // destroys any pending error on it).
+//
+//qa:hotpath
 func (b *Batch) ClearQubit(q int) {
 	b.fx[q] = 0
 	b.fz[q] = 0

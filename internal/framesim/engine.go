@@ -560,6 +560,8 @@ func (e *Engine) runWindows(st *runState, res *[64]ShotResult, shots, scriptWind
 // noiselessly and without gauge randomization (the diagnostic/probe
 // bypass semantics). out receives one outcome word per measurement site:
 // reference XOR the frame's X plane.
+//
+//qa:hotpath
 func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out []uint64) {
 	b := st.b
 	noisy := inject && st.script == nil
@@ -599,6 +601,8 @@ func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out [
 				continue
 			}
 			if st.script != nil {
+				// Cold path: scripted runs are single-shot diagnostics.
+				//qa:allow hotpath
 				if pp, ok := st.script[Site{st.round, int(op.slot), KindMeas, a, -1}]; ok {
 					e.applyScripted(st, a, pp[0])
 				}
@@ -620,6 +624,8 @@ func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out [
 				continue
 			}
 			if st.script != nil {
+				// Cold path: scripted runs are single-shot diagnostics.
+				//qa:allow hotpath
 				if pp, ok := st.script[Site{st.round, int(op.slot), KindSingle, a, -1}]; ok {
 					e.applyScripted(st, a, pp[0])
 				}
@@ -637,6 +643,8 @@ func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out [
 			}
 			qb := int(op.b)
 			if st.script != nil {
+				// Cold path: scripted runs are single-shot diagnostics.
+				//qa:allow hotpath
 				if pp, ok := st.script[Site{st.round, int(op.slot), KindPair, a, qb}]; ok {
 					e.applyScripted(st, a, pp[0])
 					e.applyScripted(st, qb, pp[1])
@@ -671,6 +679,8 @@ func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out [
 
 // applySingleHit applies one single-qubit channel hit on lane j: the
 // conditional Pauli kind given a hit (PX/P, PY/P, PZ/P).
+//
+//qa:hotpath
 func (e *Engine) applySingleHit(st *runState, q int, j uint) {
 	bit := uint64(1) << j
 	v := st.rng.Float64() * e.p
@@ -690,6 +700,8 @@ func (e *Engine) applySingleHit(st *runState, q int, j uint) {
 
 // applyPairHit applies one correlated two-qubit hit on lane j: one of the
 // 15 non-trivial pairs, uniformly.
+//
+//qa:hotpath
 func (e *Engine) applyPairHit(st *runState, qa, qb int, j uint) {
 	bit := uint64(1) << j
 	pr := pairTable[st.rng.Intn(len(pairTable))]
@@ -731,6 +743,8 @@ func (e *Engine) applyScripted(st *runState, q int, p PauliErr) {
 // masked to the lanes that actually issued a correction slot. Trials for
 // masked-out lanes are consumed but not applied, which preserves both
 // the per-lane distribution and seed determinism.
+//
+//qa:hotpath
 func (e *Engine) sampleCorrectionSlot(st *runState, hasCorr uint64) {
 	s := &st.single
 	for q := 0; q < e.n; q++ {
@@ -750,6 +764,8 @@ func (e *Engine) sampleCorrectionSlot(st *runState, hasCorr uint64) {
 // carry is the persistent carried round. dec receives the decoded
 // syndrome planes; the return value is the lane mask with a nonzero
 // decoded syndrome (the only lanes needing scalar LUT work).
+//
+//qa:hotpath
 func (e *Engine) decodeGroup(r1, r2, carry, dec *[4]uint64) uint64 {
 	if e.intersection {
 		for i := 0; i < 4; i++ {
@@ -774,6 +790,8 @@ func (e *Engine) decodeGroup(r1, r2, carry, dec *[4]uint64) uint64 {
 
 // gather scatters per-site outcome words into syndrome bit-planes per
 // hardware group.
+//
+//qa:hotpath
 func gather(e *Engine, out []uint64, a, b *[4]uint64) {
 	for i, v := range out {
 		if e.groupOfSite[i] == 0 {
@@ -785,6 +803,8 @@ func gather(e *Engine, out []uint64, a, b *[4]uint64) {
 }
 
 // synAt extracts the scalar syndrome of lane j from bit-planes.
+//
+//qa:hotpath
 func synAt(p *[4]uint64, j int) decoder.Syndrome {
 	return decoder.Syndrome((p[0]>>uint(j))&1 |
 		(p[1]>>uint(j))&1<<1 |
@@ -796,6 +816,8 @@ func synAt(p *[4]uint64, j int) decoder.Syndrome {
 // corrections into the Z planes, X corrections into the X planes. This
 // models both stack variants at once — a physical correction gate and a
 // frame-absorbed correction differ from the reference by the same Pauli.
+//
+//qa:hotpath
 func applyCorr(b *Batch, cm uint16, lane uint64, asZ bool) {
 	for m := cm; m != 0; m &= m - 1 {
 		d := bits.TrailingZeros16(m)

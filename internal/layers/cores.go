@@ -125,7 +125,7 @@ func (c *QxCore) Execute() (*qpdo.Result, error) {
 					c.binary[op.Qubits[0]] = qpdo.BinaryState(v)
 					res.Measurements = append(res.Measurements,
 						qpdo.Measurement{Qubit: op.Qubits[0], Value: v})
-				default:
+				case gates.ClassPauli, gates.ClassClifford, gates.ClassNonClifford:
 					if op.Gate.Name != gates.GateI {
 						c.state.ApplyGate(op.Gate, op.Qubits...)
 					}

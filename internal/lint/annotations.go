@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //qa: annotation grammar. Annotations are directive comments (no
+// space between // and qa:) with two forms:
+//
+//	//qa:hotpath
+//	    In the doc comment of a function: the function is a hot kernel;
+//	    the hotpath check forbids allocation sources inside it.
+//
+//	//qa:allow <check>
+//	    On a line of its own or trailing a statement: suppress <check>
+//	    findings on that line and the line directly below (so the
+//	    annotation can sit above the flagged statement).
+//
+// Anything else after //qa: is a parse error, reported as a finding of
+// the "qa" pseudo-check so a typo cannot silently disable enforcement.
+
+// AnnotationPrefix introduces a qalint directive comment.
+const AnnotationPrefix = "//qa:"
+
+// hotpathDirective marks a function as an allocation-free hot kernel.
+const hotpathDirective = "hotpath"
+
+// allowDirective suppresses one check on the annotated line.
+const allowDirective = "allow"
+
+// Notes holds the parsed //qa: annotations of one package.
+type Notes struct {
+	// allow maps filename → line → set of check names allowed there.
+	allow map[string]map[int]map[string]bool
+	// hotpath records the positions of //qa:hotpath directives by file
+	// and line; a function owns the directive when it appears in its doc
+	// comment group.
+	hotpath map[string]map[int]bool
+	// Errs are annotation parse errors, reported by Run as findings.
+	Errs []Diagnostic
+}
+
+// ParseNotes extracts the //qa: annotations from the files of a package.
+// knownChecks validates the argument of allow directives.
+func ParseNotes(fset *token.FileSet, files []*ast.File, knownChecks []string) *Notes {
+	n := &Notes{
+		allow:   map[string]map[int]map[string]bool{},
+		hotpath: map[string]map[int]bool{},
+	}
+	known := map[string]bool{}
+	for _, c := range knownChecks {
+		known[c] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AnnotationPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				body := strings.TrimPrefix(c.Text, AnnotationPrefix)
+				fields := strings.Fields(body)
+				switch {
+				case len(fields) == 1 && fields[0] == hotpathDirective:
+					file := n.hotpath[pos.Filename]
+					if file == nil {
+						file = map[int]bool{}
+						n.hotpath[pos.Filename] = file
+					}
+					file[pos.Line] = true
+				case len(fields) == 2 && fields[0] == allowDirective:
+					if !known[fields[1]] {
+						n.errorf(pos, "unknown check %q in %s directive", fields[1], AnnotationPrefix+allowDirective)
+						continue
+					}
+					file := n.allow[pos.Filename]
+					if file == nil {
+						file = map[int]map[string]bool{}
+						n.allow[pos.Filename] = file
+					}
+					line := file[pos.Line]
+					if line == nil {
+						line = map[string]bool{}
+						file[pos.Line] = line
+					}
+					line[fields[1]] = true
+				default:
+					n.errorf(pos, "malformed annotation %q: want %shotpath or %sallow <check>",
+						c.Text, AnnotationPrefix, AnnotationPrefix)
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (n *Notes) errorf(pos token.Position, format string, args ...interface{}) {
+	n.Errs = append(n.Errs, Diagnostic{
+		Pos:     pos,
+		Check:   "qa",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a //qa:allow annotation for check covers the
+// position: the annotation's own line (trailing comment) or the line
+// above the finding.
+func (n *Notes) Allowed(check string, pos token.Position) bool {
+	file := n.allow[pos.Filename]
+	if file == nil {
+		return false
+	}
+	return file[pos.Line][check] || file[pos.Line-1][check]
+}
+
+// Hotpath reports whether the function declaration carries a
+// //qa:hotpath directive in its doc comment group.
+func (n *Notes) Hotpath(fset *token.FileSet, fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		pos := fset.Position(c.Pos())
+		if n.hotpath[pos.Filename][pos.Line] && strings.HasPrefix(c.Text, AnnotationPrefix+hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const annotSrc = `package a
+
+//qa:hotpath
+func Hot() {}
+
+// Cold has prose but no directive.
+func Cold() {}
+
+func Body() {
+	x := 1
+	//qa:allow determinism
+	_ = x
+	_ = x //qa:allow float-eq
+	_ = x
+}
+
+//qa:frobnicate
+//qa:allow nosuchcheck
+//qa:allow
+var V int
+`
+
+// srcLine returns the 1-based line of the first occurrence of needle;
+// an exact needle (no substring match) when whole is set.
+func srcLine(t *testing.T, needle string, whole bool) int {
+	t.Helper()
+	for i, l := range strings.Split(annotSrc, "\n") {
+		if whole && strings.TrimSpace(l) == needle || !whole && strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("needle %q not in annotSrc", needle)
+	return 0
+}
+
+func parseAnnotSrc(t *testing.T) (*token.FileSet, *ast.File, *Notes) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", annotSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f, ParseNotes(fset, []*ast.File{f}, []string{CheckDeterminism, CheckFloatEq})
+}
+
+func TestParseNotesHotpath(t *testing.T) {
+	fset, f, notes := parseAnnotSrc(t)
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		got := notes.Hotpath(fset, fn)
+		want := fn.Name.Name == "Hot"
+		if got != want {
+			t.Errorf("Hotpath(%s) = %v, want %v", fn.Name.Name, got, want)
+		}
+	}
+}
+
+func TestParseNotesAllow(t *testing.T) {
+	_, _, notes := parseAnnotSrc(t)
+	own := srcLine(t, "//qa:allow determinism", false)
+	at := func(line int) token.Position { return token.Position{Filename: "a.go", Line: line} }
+
+	if !notes.Allowed(CheckDeterminism, at(own)) {
+		t.Error("annotation does not cover its own line")
+	}
+	if !notes.Allowed(CheckDeterminism, at(own+1)) {
+		t.Error("annotation does not cover the line below")
+	}
+	if notes.Allowed(CheckDeterminism, at(own+2)) {
+		t.Error("annotation leaks two lines below")
+	}
+	if notes.Allowed(CheckFloatEq, at(own)) {
+		t.Error("annotation suppresses a different check")
+	}
+
+	trailing := srcLine(t, "//qa:allow float-eq", false)
+	if !notes.Allowed(CheckFloatEq, at(trailing)) {
+		t.Error("trailing annotation does not cover its statement")
+	}
+}
+
+func TestParseNotesMalformed(t *testing.T) {
+	_, _, notes := parseAnnotSrc(t)
+	if len(notes.Errs) != 3 {
+		t.Fatalf("got %d annotation errors, want 3: %v", len(notes.Errs), notes.Errs)
+	}
+	wantLines := []int{
+		srcLine(t, "//qa:frobnicate", false),
+		srcLine(t, "//qa:allow nosuchcheck", false),
+		srcLine(t, "//qa:allow", true),
+	}
+	for i, e := range notes.Errs {
+		if e.Check != "qa" {
+			t.Errorf("Errs[%d].Check = %q, want qa", i, e.Check)
+		}
+		if e.Pos.Line != wantLines[i] {
+			t.Errorf("Errs[%d] at line %d, want %d", i, e.Pos.Line, wantLines[i])
+		}
+	}
+}

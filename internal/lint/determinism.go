@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The determinism check guards the bit-identical-sweeps contract
+// (internal/experiments: ShardSeed sharding must give the same results
+// for any worker count, and CLI output must be byte-identical run to
+// run). It flags the two static hazards that break it:
+//
+//  1. Range iteration over a map whose body is order-sensitive — any
+//     statement other than order-insensitive accumulation (appending to
+//     a slice for later sorting, integer/bool accumulation, writes into
+//     other maps, deletes) leaks Go's randomized map order into
+//     simulation state or output. Sort the keys first, or annotate a
+//     provably order-free loop with //qa:allow determinism.
+//  2. Global randomness and wall-clock seeding: package-level math/rand
+//     functions (rand.Intn, rand.Seed, …— everything except the
+//     rand.New/rand.NewSource constructors) and, inside the simulation
+//     core, time.Now. Both make results depend on process state rather
+//     than the experiment's seed.
+//
+// Test files are exempt (the loader never parses them); the map rule
+// applies inside Config.SimPackages, the clock rule inside
+// Config.ClockPackages, and the global-rand rule everywhere.
+const CheckDeterminism = "determinism"
+
+var _ = register(&Check{
+	Name: CheckDeterminism,
+	Doc:  "order-dependent map iteration, global math/rand, and time.Now in simulation code",
+	Run:  runDeterminism,
+})
+
+func runDeterminism(p *Pass) {
+	simScope := hasPrefix(p.Pkg.Path, p.Cfg.SimPackages)
+	clockScope := hasPrefix(p.Pkg.Path, p.Cfg.ClockPackages)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if simScope {
+					checkMapRange(p, n)
+				}
+			case *ast.CallExpr:
+				checkGlobalRand(p, n)
+				if clockScope {
+					checkClock(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags order-sensitive bodies of map iterations.
+func checkMapRange(p *Pass, rng *ast.RangeStmt) {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if pos := firstOrderSensitive(p, rng.Body, uniformReturns(rng.Body)); pos.IsValid() {
+		p.Reportf(CheckDeterminism, rng.For,
+			"map iteration order is randomized: this body is order-sensitive (sort the keys first, or annotate a provably order-free loop with %sallow determinism)",
+			AnnotationPrefix)
+	}
+}
+
+// uniformReturns reports whether every return statement inside the
+// loop body returns the same tuple of compile-time constants (or there
+// are no returns at all). An early `return false` exists-style guard is
+// order-free: whichever element triggers it, the caller sees the same
+// value. Distinct return values are not: the first match in iteration
+// order would win.
+func uniformReturns(body *ast.BlockStmt) bool {
+	uniform := true
+	var first []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !uniform {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested function's returns leave the loop alone
+		case *ast.ReturnStmt:
+			vals := make([]string, 0, len(n.Results))
+			for _, r := range n.Results {
+				lit, ok := r.(*ast.BasicLit)
+				id, okID := r.(*ast.Ident)
+				switch {
+				case ok:
+					vals = append(vals, lit.Value)
+				case okID && (id.Name == "true" || id.Name == "false" || id.Name == "nil"):
+					vals = append(vals, id.Name)
+				default:
+					uniform = false
+					return false
+				}
+			}
+			if first == nil {
+				first = append(vals, "") // non-nil sentinel even for bare returns
+			} else if len(first) != len(vals)+1 {
+				uniform = false
+			} else {
+				for i, v := range vals {
+					if first[i] != v {
+						uniform = false
+					}
+				}
+			}
+		}
+		return uniform
+	})
+	return uniform
+}
+
+// firstOrderSensitive returns the position of the first statement whose
+// effect can depend on iteration order, or token.NoPos when the whole
+// body is order-insensitive accumulation. returnsOK marks bodies whose
+// return statements were proven uniform by uniformReturns.
+func firstOrderSensitive(p *Pass, body *ast.BlockStmt, returnsOK bool) token.Pos {
+	var walk func(stmts []ast.Stmt) token.Pos
+	walk = func(stmts []ast.Stmt) token.Pos {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				if pos := walk(s.List); pos.IsValid() {
+					return pos
+				}
+			case *ast.IfStmt:
+				if s.Init != nil {
+					if pos := walk([]ast.Stmt{s.Init}); pos.IsValid() {
+						return pos
+					}
+				}
+				if pos := walk(s.Body.List); pos.IsValid() {
+					return pos
+				}
+				if s.Else != nil {
+					if pos := walk([]ast.Stmt{s.Else}); pos.IsValid() {
+						return pos
+					}
+				}
+			case *ast.ForStmt:
+				// A nested loop is as order-free as its body (collection
+				// idioms often gather nested values before sorting).
+				if pos := walk(s.Body.List); pos.IsValid() {
+					return pos
+				}
+			case *ast.RangeStmt:
+				if pos := walk(s.Body.List); pos.IsValid() {
+					return pos
+				}
+			case *ast.BranchStmt:
+				// continue/break keep the loop order-free; goto does not.
+				if s.Tok == token.GOTO {
+					return s.Pos()
+				}
+			case *ast.EmptyStmt, *ast.DeclStmt:
+				// Local declarations introduce per-iteration state.
+			case *ast.IncDecStmt:
+				if !orderFreeAccumulator(p, s.X) {
+					return s.Pos()
+				}
+			case *ast.AssignStmt:
+				if pos := assignOrderSensitive(p, s); pos.IsValid() {
+					return pos
+				}
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(p, call.Fun, "delete") {
+					continue
+				}
+				return s.Pos()
+			case *ast.ReturnStmt:
+				if returnsOK {
+					continue
+				}
+				return s.Pos()
+			default:
+				// Returns, nested loops, sends, calls for effect, defers:
+				// assume order-sensitive.
+				return s.Pos()
+			}
+		}
+		return token.NoPos
+	}
+	return walk(body.List)
+}
+
+// assignOrderSensitive vets one assignment inside a map-range body.
+// Order-insensitive forms: s = append(s, …) slice collection, writes
+// into map elements, := declarations of locals, and commutative
+// accumulation (+=, |=, &=, ^=, ++ on integers; = of a constant).
+func assignOrderSensitive(p *Pass, s *ast.AssignStmt) token.Pos {
+	switch s.Tok {
+	case token.DEFINE:
+		return token.NoPos
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if isMapIndex(p, lhs) {
+				continue
+			}
+			// Plain rebinding is only order-free when every RHS is a
+			// constant (flags, sentinels), the self-append idiom, or the
+			// parity toggle x = !x (an even/odd count commutes).
+			if i < len(s.Rhs) {
+				if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isBuiltin(p, call.Fun, "append") && sameRef(lhs, call.Args[0]) {
+					continue
+				}
+				if not, ok := s.Rhs[i].(*ast.UnaryExpr); ok && not.Op == token.NOT && sameRef(lhs, not.X) {
+					continue
+				}
+				if tv, ok := p.Pkg.Info.Types[s.Rhs[i]]; ok && tv.Value != nil {
+					continue
+				}
+			}
+			return s.Pos()
+		}
+		return token.NoPos
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if !orderFreeAccumulator(p, lhs) {
+				return s.Pos()
+			}
+		}
+		return token.NoPos
+	default:
+		// -=, /=, %=, shifts: not commutative-associative in general.
+		return s.Pos()
+	}
+}
+
+// orderFreeAccumulator reports whether accumulating into the expression
+// commutes across iteration orders: integer or boolean scalars (and
+// map elements of such type). Floating-point accumulation is rounded
+// per step, so its result depends on order — exactly the hazard that
+// would unshard ShardSeed-split sweeps.
+func orderFreeAccumulator(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+func isMapIndex(p *Pass, e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := p.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// sameRef reports whether two expressions are the same identifier or
+// selector chain (textually, for the append self-assignment idiom).
+func sameRef(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		return ok && a.Name == bi.Name
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameRef(a.X, bs.X)
+	}
+	return false
+}
+
+func isBuiltin(p *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// randConstructors are the math/rand package-level functions that build
+// seeded sources rather than drawing from the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// checkGlobalRand flags calls to math/rand package-level functions that
+// draw from (or reseed) the process-global source.
+func checkGlobalRand(p *Pass, call *ast.CallExpr) {
+	pkgName, sel := selectorPackage(p, call.Fun)
+	if pkgName == nil {
+		return
+	}
+	path := pkgName.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if randConstructors[sel] {
+		return
+	}
+	p.Reportf(CheckDeterminism, call.Pos(),
+		"call to global rand.%s: draw from an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))) so runs are reproducible", sel)
+}
+
+// checkClock flags time.Now in the simulation core.
+func checkClock(p *Pass, call *ast.CallExpr) {
+	pkgName, sel := selectorPackage(p, call.Fun)
+	if pkgName == nil || pkgName.Imported().Path() != "time" || sel != "Now" {
+		return
+	}
+	p.Reportf(CheckDeterminism, call.Pos(),
+		"time.Now in simulation code: results must be a function of the experiment seed only")
+}
+
+// selectorPackage resolves fun as pkg.Sel and returns the package name
+// object and selected identifier; nil when fun is not a package
+// selector.
+func selectorPackage(p *Pass, fun ast.Expr) (*types.PkgName, string) {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	pkgName, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil, ""
+	}
+	return pkgName, sel.Sel.Name
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The exhaustive check enforces switch coverage over the enum constant
+// sets that drive the Pauli-frame machinery: the gate vocabulary and
+// classification in internal/gates and the Pauli operators in
+// internal/pauli (Config.EnumPackages). Those switches dispatch into
+// the thesis Tables 3.2–3.5 conjugation kernels; a new gate constant
+// that silently falls through an old switch would corrupt frames
+// without any test necessarily noticing.
+//
+// A switch over an enforced enum type must either
+//
+//   - list every declared constant of the type in its cases, or
+//   - carry a terminating default: one whose body panics or returns
+//     (an error-returning guard is as loud as a panic — nothing falls
+//     through silently).
+//
+// Deliberate partial switches are annotated //qa:allow exhaustive.
+const CheckExhaustive = "exhaustive"
+
+var _ = register(&Check{
+	Name: CheckExhaustive,
+	Doc:  "switches over gate/Pauli enum constants must cover every constant or terminate in default",
+	Run:  runExhaustive,
+})
+
+func runExhaustive(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(p, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(p *Pass, sw *ast.SwitchStmt) {
+	t := p.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !enumPackage(p.Cfg, obj.Pkg().Path()) {
+		return
+	}
+	members := enumMembers(obj.Pkg(), named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := p.Pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && terminates(defaultClause.Body) {
+		return
+	}
+	enum := obj.Name()
+	if defaultClause == nil {
+		p.Reportf(CheckExhaustive, sw.Switch,
+			"switch over %s.%s misses %s and has no default: cover every constant or add a panicking default",
+			obj.Pkg().Name(), enum, nameList(missing))
+		return
+	}
+	p.Reportf(CheckExhaustive, sw.Switch,
+		"switch over %s.%s misses %s and its default falls through silently: panic or return from the default",
+		obj.Pkg().Name(), enum, nameList(missing))
+}
+
+func enumPackage(cfg *Config, path string) bool {
+	for _, p := range cfg.EnumPackages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+type enumMember struct {
+	name string
+	val  string // exact constant value, for duplicate-aliasing dedup
+}
+
+// enumMembers collects the package-level constants declared with the
+// named type, deduplicated by value (aliases like a Default constant
+// count as covered when any alias is listed) and sorted by declaration
+// name for stable messages.
+func enumMembers(pkg *types.Package, named *types.Named) []enumMember {
+	scope := pkg.Scope()
+	byVal := map[string]string{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if prev, ok := byVal[v]; !ok || name < prev {
+			byVal[v] = name
+		}
+	}
+	out := make([]enumMember, 0, len(byVal))
+	for v, name := range byVal {
+		out = append(out, enumMember{name: name, val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// terminates reports whether a default body is loud: it panics or
+// returns somewhere along it (a guard), rather than falling through.
+func terminates(body []ast.Stmt) bool {
+	for _, s := range body {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			case *ast.FuncLit:
+				return false // a nested function's returns don't count
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func nameList(names []string) string {
+	if len(names) == 1 {
+		return names[0]
+	}
+	return fmt.Sprintf("{%s}", strings.Join(names, ", "))
+}

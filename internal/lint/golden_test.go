@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantMarks extracts the fixture expectations: a comment containing
+// "want: check1 check2" expects exactly those checks to fire on its
+// line. Returns file:line → sorted check names.
+func wantMarks(pkg *Package) map[string][]string {
+	out := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want:")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				out[key] = append(out[key], strings.Fields(c.Text[idx+len("want:"):])...)
+			}
+		}
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
+}
+
+// TestFixtures runs every check over its golden fixture package and
+// compares the findings line by line against the want: marks — the
+// seeded violations must fire, the clean twins must stay silent.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  *Config
+	}{
+		{"determinism", &Config{SimPackages: []string{"fixture/"}, ClockPackages: []string{"fixture/"}}},
+		{"exhaustive", &Config{EnumPackages: []string{"fixture/exhaustive"}}},
+		{"hotpath", &Config{}},
+		{"floateq", &Config{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg, err := LoadFixture(filepath.Join("testdata", tc.name), "fixture/"+tc.name)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			want := wantMarks(pkg)
+			got := map[string][]string{}
+			for _, d := range Run(tc.cfg, []*Package{pkg}) {
+				key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+				if !contains(got[key], d.Check) {
+					got[key] = append(got[key], d.Check)
+				}
+			}
+			for _, names := range got {
+				sort.Strings(names)
+			}
+			for key, names := range want {
+				if gotNames := strings.Join(got[key], " "); gotNames != strings.Join(names, " ") {
+					t.Errorf("%s: want checks [%s], got [%s]", key, strings.Join(names, " "), gotNames)
+				}
+			}
+			for key, names := range got {
+				if _, ok := want[key]; !ok {
+					t.Errorf("%s: unexpected findings [%s]", key, strings.Join(names, " "))
+				}
+			}
+		})
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChecksRegistry pins the check vocabulary the annotations and the
+// -checks flag validate against.
+func TestChecksRegistry(t *testing.T) {
+	var names []string
+	for _, c := range Checks() {
+		if c.Doc == "" {
+			t.Errorf("check %s has no doc", c.Name)
+		}
+		names = append(names, c.Name)
+	}
+	want := []string{CheckDeterminism, CheckExhaustive, CheckFloatEq, CheckHotpath}
+	sort.Strings(want)
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Errorf("registered checks = %v, want %v", names, want)
+	}
+}
+
+// TestRepoIsClean is the self-test behind the CI gate: the analyzer must
+// report nothing over this repository.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range Run(Default(), pkgs) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,65 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SortedKeys collects and sorts before anything order-sensitive happens.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CountPositive accumulates into an integer: int addition commutes.
+func CountPositive(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Parity toggles a bool: an even/odd count commutes.
+func Parity(m map[string]bool) bool {
+	odd := false
+	for _, v := range m {
+		if v {
+			odd = !odd
+		}
+	}
+	return odd
+}
+
+// HasNegative early-returns a constant: whichever element triggers it,
+// the caller sees the same value.
+func HasNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Invert writes map elements and deletes — both order-free.
+func Invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+		delete(m, k)
+	}
+	return out
+}
+
+// SeededRand builds an explicitly seeded source: the constructors are
+// whitelisted.
+func SeededRand(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

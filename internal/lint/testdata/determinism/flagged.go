@@ -1,0 +1,49 @@
+// Package determinism seeds violations of the determinism check: every
+// line carrying an expectation marker must be flagged, and clean.go must
+// stay quiet. The golden test loads this directory with SimPackages and
+// ClockPackages covering the fixture/ prefix.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PrintAll leaks map iteration order straight into output.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want: determinism
+		fmt.Println(k, v)
+	}
+}
+
+// SumFloats accumulates floats in map order: per-step rounding makes the
+// total order-dependent.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want: determinism
+		sum += v
+	}
+	return sum
+}
+
+// FirstPositive returns whichever positive value the iteration happens
+// to visit first.
+func FirstPositive(m map[string]int) int {
+	for _, v := range m { // want: determinism
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(6) // want: determinism
+}
+
+// WallClock reads the wall clock inside the simulation scope.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want: determinism
+}

@@ -1,0 +1,57 @@
+package exhaustive
+
+import "errors"
+
+// KindDefault aliases KindA: covering any alias of a value covers them
+// all.
+const KindDefault = KindA
+
+// Full covers every constant (KindA via its alias).
+func Full(k Kind) string {
+	switch k {
+	case KindDefault, KindB:
+		return "ab"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+// PanicDefault is partial but its default is loud.
+func PanicDefault(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		panic("unhandled kind")
+	}
+}
+
+// ErrDefault is partial but returns an error from its default.
+func ErrDefault(k Kind) (string, error) {
+	switch k {
+	case KindA:
+		return "a", nil
+	default:
+		return "", errors.New("unhandled kind")
+	}
+}
+
+// Allowed is deliberately partial and annotated.
+func Allowed(k Kind) string {
+	//qa:allow exhaustive
+	switch k {
+	case KindA:
+		return "a"
+	}
+	return ""
+}
+
+// NonEnum switches over a plain int: not an enforced enum, exempt.
+func NonEnum(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,38 @@
+// Package exhaustive seeds violations of the exhaustive check. The
+// golden test loads this directory with EnumPackages naming the fixture
+// itself, so Kind below is an enforced enum.
+package exhaustive
+
+// Kind is an enforced enum: switches over it must cover every constant
+// or terminate in their default.
+type Kind int
+
+// The Kind constants.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// MissingNoDefault omits KindC and has no default.
+func MissingNoDefault(k Kind) string {
+	switch k { // want: exhaustive
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+// SilentDefault omits KindC and its default falls through quietly.
+func SilentDefault(k Kind) int {
+	n := 0
+	switch k { // want: exhaustive
+	case KindA:
+		n = 1
+	default:
+		n = 2
+	}
+	return n
+}

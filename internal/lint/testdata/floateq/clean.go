@@ -1,0 +1,22 @@
+package floateq
+
+import "math"
+
+// bothConst folds exactly at compile time.
+const bothConst = 1.5 == 1.5
+
+// Near compares with a tolerance.
+func Near(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Ints compare exactly by nature.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// IsNaN uses the deliberate IEEE x != x idiom, annotated.
+func IsNaN(x float64) bool {
+	//qa:allow float-eq
+	return x != x
+}

@@ -1,0 +1,18 @@
+// Package floateq seeds violations of the float-eq check; clean.go
+// holds the tolerated forms.
+package floateq
+
+// Equal compares floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want: float-eq
+}
+
+// NotZero compares a variable against a constant: still exact.
+func NotZero(x float64) bool {
+	return x != 0 // want: float-eq
+}
+
+// ComplexEqual compares complex values exactly.
+func ComplexEqual(a, b complex128) bool {
+	return a == b // want: float-eq
+}

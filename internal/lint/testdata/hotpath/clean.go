@@ -1,0 +1,46 @@
+package hotpath
+
+// NotHot has no directive: allocation is fine here.
+func NotHot(s []int) []int {
+	return append(s, 1)
+}
+
+// HotSum is pure arithmetic.
+//
+//qa:hotpath
+func HotSum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// HotGuard panics with a constant: static data, the required loud
+// failure path.
+//
+//qa:hotpath
+func HotGuard(q, n int) {
+	if q < 0 || q >= n {
+		panic("index out of range")
+	}
+}
+
+// HotColdPath exempts a deliberate cold branch.
+//
+//qa:hotpath
+func HotColdPath(s []int, grow bool) []int {
+	if grow {
+		//qa:allow hotpath
+		s = append(s, 0)
+	}
+	return s
+}
+
+// HotStaticClosure uses a capture-free literal: static, no environment.
+//
+//qa:hotpath
+func HotStaticClosure(n int) int {
+	double := func(x int) int { return x * 2 }
+	return double(n)
+}

@@ -1,0 +1,71 @@
+// Package hotpath seeds violations of the hotpath check inside
+// //qa:hotpath functions; clean.go holds the allocation-free twins.
+package hotpath
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// HotAppend grows a slice.
+//
+//qa:hotpath
+func HotAppend(s []int) []int {
+	return append(s, 1) // want: hotpath
+}
+
+// HotMake builds a map per call.
+//
+//qa:hotpath
+func HotMake() map[int]int {
+	return make(map[int]int) // want: hotpath
+}
+
+// HotNew heap-allocates.
+//
+//qa:hotpath
+func HotNew() *int {
+	return new(int) // want: hotpath
+}
+
+// HotComposite builds a composite literal.
+//
+//qa:hotpath
+func HotComposite(x, y int) point {
+	return point{x, y} // want: hotpath
+}
+
+// HotBox converts explicitly to an interface.
+//
+//qa:hotpath
+func HotBox(n int) interface{} {
+	return interface{}(n) // want: hotpath
+}
+
+// HotPrint boxes its argument into fmt's variadic interface parameter.
+//
+//qa:hotpath
+func HotPrint(n int) {
+	fmt.Println(n) // want: hotpath
+}
+
+// HotConcat concatenates strings.
+//
+//qa:hotpath
+func HotConcat(a, b string) string {
+	return a + b // want: hotpath
+}
+
+// HotCapture builds a closure over n.
+//
+//qa:hotpath
+func HotCapture(n int) int {
+	f := func() int { return n } // want: hotpath
+	return f()
+}
+
+// HotDefer defers.
+//
+//qa:hotpath
+func HotDefer() {
+	defer func() {}() // want: hotpath
+}

@@ -125,6 +125,9 @@ func (s *State) ApplyMatrix(m []complex128, qubits ...int) {
 		for row := 0; row < dim; row++ {
 			var sum complex128
 			for col := 0; col < dim; col++ {
+				// Deliberate exact compare: skipping structural zeros of
+				// the gate matrix, not a rounded-value comparison.
+				//qa:allow float-eq
 				if m[row*dim+col] != 0 {
 					sum += m[row*dim+col] * scratch[col]
 				}
@@ -339,6 +342,9 @@ func (s *State) Clone() *State {
 // deterministic stabilizer query (used to cross-check the two back-ends).
 func (s *State) ExpectPauli(ps pauli.PauliString) float64 {
 	var xMask, zMask, yMask uint
+	// Order-free: per-qubit OR into disjoint mask bits, plus the
+	// bounds-check panic guard.
+	//qa:allow determinism
 	for q, p := range ps.Ops {
 		s.checkQubits([]int{q})
 		if p.HasX() {
@@ -356,6 +362,9 @@ func (s *State) ExpectPauli(ps pauli.PauliString) float64 {
 	yCount := bits.OnesCount(yMask)
 	var acc complex128
 	for i, a := range s.amp {
+		// Deliberate exact compare: skipping exactly-zero amplitudes is a
+		// pure optimization, near-zeros still contribute.
+		//qa:allow float-eq
 		if a == 0 {
 			continue
 		}

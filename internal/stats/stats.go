@@ -161,6 +161,9 @@ func TTestIndependent(a, b []float64) (TTestResult, error) {
 	df := n1 + n2 - 2
 	sp := math.Sqrt(((n1-1)*v1 + (n2-1)*v2) / df)
 	denom := sp * math.Sqrt(1/n1+1/n2)
+	// Deliberate exact compare: guarding division by an exactly-zero
+	// pooled error (identical constant samples), not a tolerance test.
+	//qa:allow float-eq
 	if denom == 0 {
 		// Identical constant samples: no evidence of difference.
 		return TTestResult{T: 0, DF: df, P: 1}, nil
@@ -179,6 +182,8 @@ func TTestWelch(a, b []float64) (TTestResult, error) {
 	}
 	v1, v2 := Variance(a), Variance(b)
 	se2 := v1/n1 + v2/n2
+	// Deliberate exact compare: division-by-zero guard, as in TTest.
+	//qa:allow float-eq
 	if se2 == 0 {
 		return TTestResult{T: 0, DF: n1 + n2 - 2, P: 1}, nil
 	}
@@ -201,6 +206,8 @@ func TTestPaired(a, b []float64) (TTestResult, error) {
 	}
 	sd := StdDev(d)
 	df := float64(len(a) - 1)
+	// Deliberate exact compare: division-by-zero guard, as in TTest.
+	//qa:allow float-eq
 	if sd == 0 {
 		return TTestResult{T: 0, DF: df, P: 1}, nil
 	}
@@ -218,6 +225,9 @@ func PseudoThreshold(xs, ys []float64) float64 {
 	for i := 1; i < len(xs); i++ {
 		d0 := ys[i-1] - xs[i-1]
 		d1 := ys[i] - xs[i]
+		// Deliberate exact compare: an exact touch of y = x is the
+		// crossing itself; near-misses interpolate below.
+		//qa:allow float-eq
 		if d0 == 0 {
 			return xs[i-1]
 		}
@@ -227,6 +237,8 @@ func PseudoThreshold(xs, ys []float64) float64 {
 			return xs[i-1] + t*(xs[i]-xs[i-1])
 		}
 	}
+	// Deliberate exact compare: endpoint touch of y = x, as above.
+	//qa:allow float-eq
 	if ys[len(ys)-1] == xs[len(xs)-1] {
 		return xs[len(xs)-1]
 	}

@@ -177,8 +177,12 @@ func (l *Layer) execOp(op circuit.Operation, res *qpdo.Result) error {
 			case qpdo.StateOne:
 				b.state = qpdo.StateZero
 			}
+		case gates.GateZ:
+			// Z fixes the computational-basis tracking states.
 		case gates.GateH:
 			b.state = qpdo.StateUnknown
+		default:
+			panic(fmt.Sprintf("steane: unreachable transversal gate %s", op.Gate))
 		}
 		return l.runLower(c)
 	case gates.GateCNOT:
@@ -200,8 +204,9 @@ func (l *Layer) execOp(op circuit.Operation, res *qpdo.Result) error {
 			}
 		}
 		return l.runLower(c)
+	default:
+		return fmt.Errorf("steane: unsupported logical operation %s", op.Gate)
 	}
-	return fmt.Errorf("steane: unsupported logical operation %s", op.Gate)
 }
 
 func (l *Layer) runLower(c *circuit.Circuit) error {

@@ -248,8 +248,9 @@ func (l *NinjaStarLayer) execOp(op circuit.Operation, res *qpdo.Result) error {
 		// §2.6.1): rotated pairing when the orientations match.
 		rotated := a.star.Rotation == b.star.Rotation
 		return l.runLower(TwoQubitTransversal(gates.CZ, a.star, b.star, rotated))
+	default:
+		return fmt.Errorf("surface: unsupported logical operation %s", op.Gate)
 	}
-	return fmt.Errorf("surface: unsupported logical operation %s", op.Gate)
 }
 
 // runLower sends one circuit through the lower stack and executes it,

@@ -190,7 +190,14 @@ func (g *GateSupport) Iteration(stack qpdo.Core, _ int) error {
 			c.Add(gates.Prep, q)
 		}
 		ck.build(c)
+		// Measure in ascending qubit order so the circuit — and with it
+		// the stack's RNG draw order — is identical run to run.
+		qs := make([]int, 0, len(ck.want))
 		for q := range ck.want {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
 			c.Add(gates.Measure, q)
 		}
 		res, err := qpdo.Run(stack, c)
