@@ -27,17 +27,18 @@ func main() {
 	bell := flag.Bool("bell", false, "run the odd-Bell-state histogram experiment instead (Fig 5.7)")
 	bellIters := flag.Int("belliters", 100, "odd-Bell iterations (thesis: 100)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 1, "state-vector kernel goroutines (0 = all CPUs); results are identical for any value")
 	verbose := flag.Bool("v", false, "print the example states of the first iteration (Listings 5.3-5.6)")
 	flag.Parse()
 
 	if *bell {
-		runOddBell(*bellIters, *seed)
+		runOddBell(*bellIters, *seed, *workers)
 		return
 	}
-	runRandomCircuits(*iters, *qubits, *ngates, *seed, *verbose)
+	runRandomCircuits(*iters, *qubits, *ngates, *seed, *workers, *verbose)
 }
 
-func runRandomCircuits(iters, qubits, ngates int, seed int64, verbose bool) {
+func runRandomCircuits(iters, qubits, ngates int, seed int64, workers int, verbose bool) {
 	fmt.Printf("random-circuit Pauli frame verification: %d iterations, %d qubits, %d gates each\n",
 		iters, qubits, ngates)
 	for it := 0; it < iters; it++ {
@@ -47,11 +48,13 @@ func runRandomCircuits(iters, qubits, ngates int, seed int64, verbose bool) {
 		}, rand.New(rand.NewSource(s)))
 
 		ref := layers.NewQxCore(rand.New(rand.NewSource(s * 31)))
+		ref.SetWorkers(workers)
 		check(ref.CreateQubits(qubits))
 		_, err := qpdo.Run(ref, circ.Clone())
 		check(err)
 
 		qx := layers.NewQxCore(rand.New(rand.NewSource(s * 31)))
+		qx.SetWorkers(workers)
 		pf := layers.NewPauliFrameLayer(qx)
 		check(pf.CreateQubits(qubits))
 		_, err = qpdo.Run(pf, circ.Clone())
@@ -86,12 +89,13 @@ func runRandomCircuits(iters, qubits, ngates int, seed int64, verbose bool) {
 	fmt.Printf("PASS: all %d random circuits yield identical states up to global phase\n", iters)
 }
 
-func runOddBell(iters int, seed int64) {
+func runOddBell(iters int, seed int64, workers int) {
 	fmt.Printf("odd Bell state (|01⟩_L+|10⟩_L)/√2 on two ninja stars, %d iterations\n", iters)
 	for _, withPF := range []bool{true, false} {
 		hist := map[string]int{}
 		for it := 0; it < iters; it++ {
 			qx := layers.NewQxCore(rand.New(rand.NewSource(seed + int64(it))))
+			qx.SetWorkers(workers)
 			var below qpdo.Core = qx
 			var pf *layers.PauliFrameLayer
 			if withPF {

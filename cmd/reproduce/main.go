@@ -40,7 +40,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "smoke, quick or thesis")
 	out := flag.String("o", "", "write the markdown report here (default stdout)")
 	seed := flag.Int64("seed", 2017, "base seed")
-	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size and state-vector kernel goroutines (0 = all CPUs); results are identical for any value")
 	engineName := flag.String("engine", "stack", "LER-study engine: stack (QPDO oracle) or framesim (bit-sliced, ~80x faster)")
 	flag.Parse()
 	sc, ok := scales[*scaleName]
@@ -66,10 +66,12 @@ func main() {
 		circ := randcirc.Generate(randcirc.Config{Qubits: 8, Gates: 400, IncludeIdentity: true},
 			rand.New(rand.NewSource(s)))
 		ref := layers.NewQxCore(rand.New(rand.NewSource(s * 31)))
+		ref.SetWorkers(*workers)
 		must(ref.CreateQubits(8))
 		_, err := qpdo.Run(ref, circ.Clone())
 		must(err)
 		qx := layers.NewQxCore(rand.New(rand.NewSource(s * 31)))
+		qx.SetWorkers(*workers)
 		pf := layers.NewPauliFrameLayer(qx)
 		must(pf.CreateQubits(8))
 		_, err = qpdo.Run(pf, circ.Clone())
@@ -89,6 +91,7 @@ func main() {
 	cnotOK := true
 	for i, cse := range []struct{ c, t, wc, wt int }{{0, 0, 0, 0}, {1, 0, 1, 1}, {0, 1, 0, 1}, {1, 1, 1, 0}} {
 		qx := layers.NewQxCore(rand.New(rand.NewSource(*seed + int64(100+i))))
+		qx.SetWorkers(*workers)
 		l := surface.NewNinjaStarLayer(qx, surface.Config{Ancilla: surface.AncillaSharedSingle})
 		must(l.CreateQubits(2))
 		prep := circuit.New().Add(gates.Prep, 0).Add(gates.Prep, 1)

@@ -46,14 +46,28 @@ func (s *StabilizerState) Describe() string {
 // QxCore is the universal simulation core backed by the state-vector
 // simulator, the stand-in for the QX Simulator back-end (thesis §4.1.1).
 type QxCore struct {
-	rng    *rand.Rand
-	state  *statevec.State
-	binary []qpdo.BinaryState
-	queue  []*circuit.Circuit
+	rng     *rand.Rand
+	state   *statevec.State
+	binary  []qpdo.BinaryState
+	queue   []*circuit.Circuit
+	workers int // 0 = leave the state-vector default (serial)
 }
 
 // NewQxCore creates an empty universal core.
 func NewQxCore(rng *rand.Rand) *QxCore { return &QxCore{rng: rng} }
+
+// SetWorkers shards every state-vector kernel invocation over w
+// goroutines (w <= 0 selects GOMAXPROCS); results are bit-identical for
+// any value. The setting survives CreateQubits/RemoveQubits.
+func (c *QxCore) SetWorkers(w int) {
+	if w == 0 {
+		w = -1 // remember "all CPUs" distinctly from the unset zero value
+	}
+	c.workers = w
+	if c.state != nil {
+		c.state.SetWorkers(w)
+	}
+}
 
 // CreateQubits allocates n new qubits in |0⟩.
 func (c *QxCore) CreateQubits(n int) error {
@@ -69,6 +83,9 @@ func (c *QxCore) CreateQubits(n int) error {
 		amps[0] = 1
 	}
 	c.state = statevec.FromAmplitudes(amps, c.rng)
+	if c.workers != 0 {
+		c.state.SetWorkers(c.workers)
+	}
 	c.binary = append(c.binary, make([]qpdo.BinaryState, n)...)
 	return nil
 }

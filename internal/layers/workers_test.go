@@ -1,0 +1,66 @@
+package layers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qpdo"
+	"repro/internal/randcirc"
+)
+
+// TestQxCoreWorkerDeterminism runs the same seeded random circuit on a
+// serial QxCore and on cores sharding their state-vector kernels over
+// several goroutines, requiring exactly equal amplitudes and
+// measurement streams: the worker option must never change results.
+func TestQxCoreWorkerDeterminism(t *testing.T) {
+	const n, seed = 8, 77
+	run := func(workers int) ([]complex128, []qpdo.Measurement) {
+		circ := randcirc.Generate(randcirc.Config{Qubits: n, Gates: 300, IncludeIdentity: true},
+			rand.New(rand.NewSource(seed)))
+		core := NewQxCore(rand.New(rand.NewSource(seed * 31)))
+		if workers != 1 {
+			core.SetWorkers(workers)
+		}
+		if err := core.CreateQubits(n); err != nil {
+			t.Fatal(err)
+		}
+		res, err := qpdo.Run(core, circ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Vector().Amplitudes(), res.Measurements
+	}
+	refAmps, refMeas := run(1)
+	for _, w := range []int{2, 4} {
+		amps, meas := run(w)
+		if len(meas) != len(refMeas) {
+			t.Fatalf("workers=%d: %d measurements, want %d", w, len(meas), len(refMeas))
+		}
+		for i := range meas {
+			if meas[i] != refMeas[i] {
+				t.Fatalf("workers=%d: measurement %d = %+v, want %+v", w, i, meas[i], refMeas[i])
+			}
+		}
+		for i := range amps {
+			if amps[i] != refAmps[i] {
+				t.Fatalf("workers=%d: amp[%d] = %v, want %v", w, i, amps[i], refAmps[i])
+			}
+		}
+	}
+	// The setting must survive qubit growth: SetWorkers before
+	// CreateQubits and after both apply to the live state.
+	core := NewQxCore(rand.New(rand.NewSource(1)))
+	core.SetWorkers(3)
+	if err := core.CreateQubits(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Vector().Workers(); got != 3 {
+		t.Fatalf("workers after CreateQubits = %d, want 3", got)
+	}
+	if err := core.CreateQubits(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Vector().Workers(); got != 3 {
+		t.Fatalf("workers after growth = %d, want 3", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Kernel dispatch and deterministic multi-goroutine execution. ApplyGate
+// keys off the registered gates.Gate vocabulary and routes every gate to
+// its specialized kernel (kernels.go); anything without a kernel falls
+// back to the generic ApplyMatrix oracle. The Workers option shards each
+// kernel invocation over fixed contiguous index ranges; mutating kernels
+// write disjoint indices and reductions fold fixed-size block partials
+// in ascending block order, so every result is bit-identical for any
+// worker count (the same discipline as internal/experiments/parallel.go).
+package statevec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/gates"
+)
+
+const (
+	// reduceBlockShift fixes the reduction block grid: partial sums are
+	// computed per 2^reduceBlockShift-element block of the iteration
+	// space and folded in ascending block order. The grid depends only
+	// on the state size, never on the worker count.
+	reduceBlockShift = 12
+	reduceBlock      = 1 << reduceBlockShift
+	// parMinSpan is the smallest iteration span worth forking goroutines
+	// for; below it every kernel runs on the calling goroutine.
+	parMinSpan = 1 << 13
+)
+
+// SetWorkers sets how many goroutines kernels may shard over; w <= 0
+// selects GOMAXPROCS. Results are bit-identical for any setting. The
+// default is 1 (fully serial).
+func (s *State) SetWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s.workers = w
+}
+
+// Workers returns the resolved worker count.
+func (s *State) Workers() int { return s.workers }
+
+// spanWorkers decides how many goroutines to use for an n-element
+// iteration space, keeping at least one reduction block per worker.
+func (s *State) spanWorkers(n int) int {
+	w := s.workers
+	if w <= 1 || n < parMinSpan {
+		return 1
+	}
+	if max := n >> reduceBlockShift; w > max {
+		w = max
+	}
+	return w
+}
+
+// run executes the mutating kernel k over [0, n), sharded into one
+// contiguous range per worker. Every index is written by exactly one
+// shard, so the result does not depend on the split.
+func (s *State) run(n int, k kernelOp) {
+	w := s.spanWorkers(n)
+	if w == 1 {
+		runShard(s.amp, k, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		// k is passed as an argument, not captured: a captured parameter
+		// would be moved to the heap and cost an allocation even on the
+		// serial path above.
+		go func(k kernelOp, lo, hi int) {
+			defer wg.Done()
+			runShard(s.amp, k, lo, hi)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+}
+
+// reduce folds the reduction kernel k over [0, n) on the fixed block
+// grid: each block's partial sum is computed independently (possibly on
+// different goroutines) and the partials are combined in ascending
+// block order, making the float result bit-identical for any worker
+// count, including the serial path.
+func (s *State) reduce(n int, k kernelOp) complex128 {
+	nb := (n + reduceBlock - 1) >> reduceBlockShift
+	if nb < 1 {
+		nb = 1
+	}
+	w := s.spanWorkers(n)
+	if w == 1 {
+		var total complex128
+		for b := 0; b < nb; b++ {
+			lo := b << reduceBlockShift
+			hi := lo + reduceBlock
+			if hi > n {
+				hi = n
+			}
+			total += reduceShard(s.amp, k, lo, hi)
+		}
+		return total
+	}
+	red := s.red[:nb]
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		blo, bhi := i*nb/w, (i+1)*nb/w
+		go func(k kernelOp, blo, bhi int) {
+			defer wg.Done()
+			for b := blo; b < bhi; b++ {
+				lo := b << reduceBlockShift
+				hi := lo + reduceBlock
+				if hi > n {
+					hi = n
+				}
+				red[b] = reduceShard(s.amp, k, lo, hi)
+			}
+		}(k, blo, bhi)
+	}
+	wg.Wait()
+	var total complex128
+	for b := 0; b < nb; b++ {
+		total += red[b]
+	}
+	return total
+}
+
+// ApplyGate applies a registered unitary gate through its specialized
+// kernel. For multi-qubit gates the first listed qubit is the most
+// significant bit of the gate matrix basis (control first for CNOT/CZ,
+// the two controls first for Toffoli). Gates without a kernel — and any
+// caller going through ApplyMatrix directly — take the generic path,
+// which the differential tests hold to exact agreement with the kernels.
+func (s *State) ApplyGate(g *gates.Gate, qubits ...int) {
+	if g.Matrix == nil {
+		panic(fmt.Sprintf("statevec: gate %s has no matrix", g))
+	}
+	if len(qubits) != g.Arity {
+		panic(fmt.Sprintf("statevec: gate %s wants %d qubits, got %d", g, g.Arity, len(qubits)))
+	}
+	s.checkQubits(qubits)
+	for i := 0; i < len(qubits); i++ {
+		for j := i + 1; j < len(qubits); j++ {
+			if qubits[i] == qubits[j] {
+				panic("statevec: repeated qubit in gate operand list")
+			}
+		}
+	}
+	pairs := len(s.amp) >> 1
+	switch g.Name {
+	case gates.GateI:
+		// Identity: nothing to do beyond operand validation.
+	case gates.GateX:
+		s.run(pairs, kernelOp{code: opX, s1: 1 << uint(qubits[0])})
+	case gates.GateY:
+		s.run(pairs, kernelOp{code: opY, s1: 1 << uint(qubits[0])})
+	case gates.GateZ, gates.GateS, gates.GateSdg, gates.GateT, gates.GateTdg:
+		// All registered single-qubit diagonals are diag(1, phase); the
+		// phase comes from the registered matrix so the kernel and the
+		// oracle agree exactly.
+		s.run(pairs, kernelOp{code: opPhase, s1: 1 << uint(qubits[0]), phase: g.Matrix[3]})
+	case gates.GateH:
+		m := g.Matrix
+		s.run(pairs, kernelOp{code: opUnary, s1: 1 << uint(qubits[0]),
+			m00: m[0], m01: m[1], m10: m[2], m11: m[3]})
+	case gates.GateCNOT:
+		cm, tm := uint(1)<<uint(qubits[0]), uint(1)<<uint(qubits[1])
+		m1, m2 := sort2(cm, tm)
+		s.run(pairs>>1, kernelOp{code: opCNOT, s1: m1, s2: m2, aMask: cm, bMask: tm})
+	case gates.GateCZ:
+		m1, m2 := sort2(uint(1)<<uint(qubits[0]), uint(1)<<uint(qubits[1]))
+		s.run(pairs>>1, kernelOp{code: opPhase2, s1: m1, s2: m2, phase: g.Matrix[15]})
+	case gates.GateSWAP:
+		m1, m2 := sort2(uint(1)<<uint(qubits[0]), uint(1)<<uint(qubits[1]))
+		s.run(pairs>>1, kernelOp{code: opSWAP, s1: m1, s2: m2})
+	case gates.GateTOF:
+		c1, c2 := uint(1)<<uint(qubits[0]), uint(1)<<uint(qubits[1])
+		tm := uint(1) << uint(qubits[2])
+		m1, m2, m3 := sort3(c1, c2, tm)
+		s.run(pairs>>2, kernelOp{code: opToffoli, s1: m1, s2: m2, s3: m3,
+			aMask: c1 | c2, bMask: tm})
+	case gates.PrepZ, gates.MeasZ:
+		// Unreachable: pseudo-operations have no matrix.
+		panic(fmt.Sprintf("statevec: gate %s has no unitary action", g))
+	default:
+		s.applyFallback(g, qubits)
+	}
+}
+
+// applyFallback handles unregistered gates: RZ-style diagonals and
+// arbitrary single-qubit matrices still get kernels; anything larger
+// goes through the generic oracle path.
+func (s *State) applyFallback(g *gates.Gate, qubits []int) {
+	m := g.Matrix
+	if g.Arity == 1 {
+		pairs := len(s.amp) >> 1
+		// Deliberate exact compares: recognizing the structural shape
+		// diag(1, phase) of RZ(θ), not comparing rounded values.
+		//qa:allow float-eq
+		if m[0] == 1 && m[1] == 0 && m[2] == 0 {
+			s.run(pairs, kernelOp{code: opPhase, s1: 1 << uint(qubits[0]), phase: m[3]})
+			return
+		}
+		s.run(pairs, kernelOp{code: opUnary, s1: 1 << uint(qubits[0]),
+			m00: m[0], m01: m[1], m10: m[2], m11: m[3]})
+		return
+	}
+	s.ApplyMatrix(m, qubits...)
+}
+
+// sort2 orders two bit masks ascending.
+func sort2(a, b uint) (uint, uint) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+// sort3 orders three bit masks ascending.
+func sort3(a, b, c uint) (uint, uint, uint) {
+	a, b = sort2(a, b)
+	b, c = sort2(b, c)
+	a, b = sort2(a, b)
+	return a, b, c
+}

@@ -1,0 +1,304 @@
+// Specialized state-vector kernels. Every gate that the circuits of the
+// thesis actually use dispatches here instead of the generic
+// ApplyMatrix gather/scatter loop (kept as the differential-test
+// oracle): single-qubit gates run as a strided butterfly over direct
+// pair indices, diagonal gates touch only the amplitudes they can
+// change, and X/Y/CNOT/SWAP/Toffoli are pure amplitude permutations.
+//
+// Indexing convention: a kernel over "pair space" enumerates p in
+// [0, 2^(n-1)) and expands p to the basis index i0 with the target bit
+// cleared by inserting a zero bit at the target position; i1 = i0|mask
+// is its partner. Two- and three-qubit kernels do the same with two or
+// three bit insertions (masks sorted ascending). The expansion is a
+// handful of shifts, so no kernel ever scans the full 2^n index space
+// skipping blocks the way the generic path does.
+//
+// Bit-exactness contract: each kernel performs the same complex
+// multiplications and additions, in the same order, as the generic
+// ApplyMatrix loop with its structural-zero skipping. The differential
+// tests in kernels_test.go hold the two paths to exact (0-ulp)
+// equality, so any new kernel must preserve this discipline.
+package statevec
+
+import "math/bits"
+
+// Kernel opcodes for runShard/reduceShard dispatch.
+const (
+	opUnary   = iota // arbitrary 2×2 matrix, butterfly over pair space
+	opPhase          // diag(1, phase) over pair space
+	opPhase2         // controlled phase on |11⟩ over quarter space
+	opX              // pair swap
+	opY              // pair swap with ±i phases
+	opCNOT           // conditional pair swap over quarter space
+	opSWAP           // |01⟩↔|10⟩ swap over quarter space
+	opToffoli        // doubly conditional swap over eighth space
+	opProject        // fused measurement projection + renormalization
+
+	redProbOne // Σ |a|² over the target-bit-set half, pair space
+	redNorm    // Σ |a|² over the full index space
+	redExpect  // ⟨ψ|P|ψ⟩ accumulation over the full index space
+)
+
+// kernelOp carries the operands of one kernel invocation. It is passed
+// by value so the serial path keeps it on the stack (zero allocations)
+// while the parallel path copies it into each shard's closure.
+type kernelOp struct {
+	code               int
+	m00, m01, m10, m11 complex128 // opUnary matrix entries
+	phase              complex128 // opPhase/opPhase2 factor, opProject renorm
+	s1, s2, s3         uint       // target bit masks sorted ascending
+	aMask, bMask       uint       // semantic masks: control(s)/x-mask, target/z-mask
+	outcome            int        // opProject branch
+}
+
+// runShard executes the mutating kernel k over the iteration-space
+// shard [lo, hi). Shards of one invocation write disjoint amplitude
+// indices, so any sharding is race-free and bit-deterministic.
+//
+//qa:hotpath
+func runShard(amp []complex128, k kernelOp, lo, hi int) {
+	switch k.code {
+	case opUnary:
+		kernUnary(amp, k.m00, k.m01, k.m10, k.m11, k.s1, lo, hi)
+	case opPhase:
+		kernPhase(amp, k.phase, k.s1, lo, hi)
+	case opPhase2:
+		kernPhase2(amp, k.phase, k.s1, k.s2, lo, hi)
+	case opX:
+		kernX(amp, k.s1, lo, hi)
+	case opY:
+		kernY(amp, k.s1, lo, hi)
+	case opCNOT:
+		kernCNOT(amp, k.s1, k.s2, k.aMask, k.bMask, lo, hi)
+	case opSWAP:
+		kernSWAP(amp, k.s1, k.s2, lo, hi)
+	case opToffoli:
+		kernToffoli(amp, k.s1, k.s2, k.s3, k.aMask, k.bMask, lo, hi)
+	case opProject:
+		kernProject(amp, k.s1, k.phase, k.outcome, lo, hi)
+	default:
+		panic("statevec: unknown mutating kernel code")
+	}
+}
+
+// reduceShard folds the read-only reduction kernel k over one shard and
+// returns the partial sum. Float reductions return complex(x, 0).
+//
+//qa:hotpath
+func reduceShard(amp []complex128, k kernelOp, lo, hi int) complex128 {
+	switch k.code {
+	case redProbOne:
+		return kernProbOne(amp, k.s1, lo, hi)
+	case redNorm:
+		return kernNorm(amp, lo, hi)
+	case redExpect:
+		return kernExpect(amp, k.aMask, k.bMask, lo, hi)
+	}
+	panic("statevec: unknown reduction kernel code")
+}
+
+// kernUnary is the strided butterfly for an arbitrary single-qubit gate
+// (m00 m01; m10 m11). Structural zeros of the matrix are skipped to
+// mirror the generic oracle's accumulation exactly.
+//
+//qa:hotpath
+func kernUnary(amp []complex128, m00, m01, m10, m11 complex128, mask uint, lo, hi int) {
+	low := mask - 1
+	for p := uint(lo); p < uint(hi); p++ {
+		i0 := (p&^low)<<1 | p&low
+		i1 := i0 | mask
+		a0, a1 := amp[i0], amp[i1]
+		var t0, t1 complex128
+		//qa:allow float-eq
+		if m00 != 0 {
+			t0 += m00 * a0
+		}
+		//qa:allow float-eq
+		if m01 != 0 {
+			t0 += m01 * a1
+		}
+		//qa:allow float-eq
+		if m10 != 0 {
+			t1 += m10 * a0
+		}
+		//qa:allow float-eq
+		if m11 != 0 {
+			t1 += m11 * a1
+		}
+		amp[i0], amp[i1] = t0, t1
+	}
+}
+
+// kernPhase applies diag(1, phase): only amplitudes with the target bit
+// set are touched, once each, with no gather.
+//
+//qa:hotpath
+func kernPhase(amp []complex128, phase complex128, mask uint, lo, hi int) {
+	low := mask - 1
+	for p := uint(lo); p < uint(hi); p++ {
+		i := (p&^low)<<1 | p&low | mask
+		amp[i] *= phase
+	}
+}
+
+// kernPhase2 multiplies the |11⟩ quarter of a two-qubit subspace by
+// phase (CZ with phase = −1). m1 < m2 are the sorted target masks.
+//
+//qa:hotpath
+func kernPhase2(amp []complex128, phase complex128, m1, m2 uint, lo, hi int) {
+	low1, low2 := m1-1, m2-1
+	for p := uint(lo); p < uint(hi); p++ {
+		b := (p&^low1)<<1 | p&low1
+		b = (b&^low2)<<1 | b&low2
+		amp[b|m1|m2] *= phase
+	}
+}
+
+// kernX swaps each amplitude pair: the X gate is a pure permutation.
+//
+//qa:hotpath
+func kernX(amp []complex128, mask uint, lo, hi int) {
+	low := mask - 1
+	for p := uint(lo); p < uint(hi); p++ {
+		i0 := (p&^low)<<1 | p&low
+		i1 := i0 | mask
+		amp[i0], amp[i1] = amp[i1], amp[i0]
+	}
+}
+
+// kernY swaps each pair with the Y phases: |0⟩ ← −i·a1, |1⟩ ← i·a0,
+// matching the single nonzero entry per row of the Y matrix.
+//
+//qa:hotpath
+func kernY(amp []complex128, mask uint, lo, hi int) {
+	low := mask - 1
+	for p := uint(lo); p < uint(hi); p++ {
+		i0 := (p&^low)<<1 | p&low
+		i1 := i0 | mask
+		a0 := amp[i0]
+		amp[i0] = -1i * amp[i1]
+		amp[i1] = 1i * a0
+	}
+}
+
+// kernCNOT swaps the target pair inside the control-set half: for every
+// base with both bits clear, amp[base|c|t] ↔ amp[base|c]. m1 < m2 are
+// the sorted masks; cm/tm the control and target masks.
+//
+//qa:hotpath
+func kernCNOT(amp []complex128, m1, m2, cm, tm uint, lo, hi int) {
+	low1, low2 := m1-1, m2-1
+	for p := uint(lo); p < uint(hi); p++ {
+		b := (p&^low1)<<1 | p&low1
+		b = (b&^low2)<<1 | b&low2
+		i := b | cm
+		j := i | tm
+		amp[i], amp[j] = amp[j], amp[i]
+	}
+}
+
+// kernSWAP exchanges the |01⟩ and |10⟩ amplitudes of every two-qubit
+// block: for each base with both bits clear, amp[base|m1] ↔ amp[base|m2].
+//
+//qa:hotpath
+func kernSWAP(amp []complex128, m1, m2 uint, lo, hi int) {
+	low1, low2 := m1-1, m2-1
+	for p := uint(lo); p < uint(hi); p++ {
+		b := (p&^low1)<<1 | p&low1
+		b = (b&^low2)<<1 | b&low2
+		i := b | m1
+		j := b | m2
+		amp[i], amp[j] = amp[j], amp[i]
+	}
+}
+
+// kernToffoli swaps the target pair where both controls are set.
+// m1 < m2 < m3 are the sorted masks; ccm = ctrl1|ctrl2, tm the target.
+//
+//qa:hotpath
+func kernToffoli(amp []complex128, m1, m2, m3, ccm, tm uint, lo, hi int) {
+	low1, low2, low3 := m1-1, m2-1, m3-1
+	for p := uint(lo); p < uint(hi); p++ {
+		b := (p&^low1)<<1 | p&low1
+		b = (b&^low2)<<1 | b&low2
+		b = (b&^low3)<<1 | b&low3
+		i := b | ccm
+		j := i | tm
+		amp[i], amp[j] = amp[j], amp[i]
+	}
+}
+
+// kernProject is the fused measurement projection: in one pass over the
+// pairs it zeroes the branch that was not observed and renormalizes the
+// kept branch by norm = 1/√p.
+//
+//qa:hotpath
+func kernProject(amp []complex128, mask uint, norm complex128, outcome, lo, hi int) {
+	low := mask - 1
+	if outcome == 1 {
+		for p := uint(lo); p < uint(hi); p++ {
+			i0 := (p&^low)<<1 | p&low
+			amp[i0] = 0
+			amp[i0|mask] *= norm
+		}
+		return
+	}
+	for p := uint(lo); p < uint(hi); p++ {
+		i0 := (p&^low)<<1 | p&low
+		amp[i0] *= norm
+		amp[i0|mask] = 0
+	}
+}
+
+// kernProbOne sums |a|² over the target-bit-set partner of every pair
+// in [lo, hi), reading only half the array (no bit-test scan).
+//
+//qa:hotpath
+func kernProbOne(amp []complex128, mask uint, lo, hi int) complex128 {
+	low := mask - 1
+	pr := 0.0
+	for p := uint(lo); p < uint(hi); p++ {
+		a := amp[(p&^low)<<1|p&low|mask]
+		pr += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return complex(pr, 0)
+}
+
+// kernNorm sums |a|² over the index-space shard [lo, hi).
+//
+//qa:hotpath
+func kernNorm(amp []complex128, lo, hi int) complex128 {
+	n := 0.0
+	for i := lo; i < hi; i++ {
+		a := amp[i]
+		n += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return complex(n, 0)
+}
+
+// kernExpect accumulates conj(a[i⊕x])·(±1)^{|i∧z|}·a[i] over the shard:
+// the Pauli-string expectation body of ExpectPauli. The ±i factors of Y
+// operators and the sign of the string are applied once by the caller.
+//
+//qa:hotpath
+func kernExpect(amp []complex128, xMask, zMask uint, lo, hi int) complex128 {
+	var acc complex128
+	for i := lo; i < hi; i++ {
+		a := amp[i]
+		// Deliberate exact compare: skipping exactly-zero amplitudes is a
+		// pure optimization, near-zeros still contribute.
+		//qa:allow float-eq
+		if a == 0 {
+			continue
+		}
+		j := uint(i) ^ xMask
+		c := amp[j]
+		// conj(c)·(±1)·a, with the sign from the Z components.
+		if bits.OnesCount(uint(i)&zMask)&1 == 1 {
+			acc += complex(real(c), -imag(c)) * -a
+		} else {
+			acc += complex(real(c), -imag(c)) * a
+		}
+	}
+	return acc
+}

@@ -1,0 +1,244 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/pauli"
+)
+
+// diffPool is every registered unitary plus an unregistered RZ, so the
+// differential circuits exercise each specialized kernel, the diagonal
+// fallback, and the generic multi-qubit oracle path (Toffoli). The pool
+// is sorted by name: gates.Unitaries() walks the registry map, and the
+// seeded circuits must not depend on map iteration order.
+func diffPool() []*gates.Gate {
+	pool := append(gates.Unitaries(), gates.RZ(0.7310), gates.RZ(-1.234))
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Name < pool[j].Name })
+	return pool
+}
+
+// randomOp draws a gate and a distinct operand list for an n-qubit register.
+func randomOp(pool []*gates.Gate, n int, rng *rand.Rand) (*gates.Gate, []int) {
+	for {
+		g := pool[rng.Intn(len(pool))]
+		if g.Arity > n {
+			continue
+		}
+		qs := rng.Perm(n)[:g.Arity]
+		return g, qs
+	}
+}
+
+// TestKernelsMatchGenericOracle drives the specialized kernels and the
+// retained generic ApplyMatrix oracle through identical seeded random
+// circuits with interleaved measurements and requires exact (0-ulp)
+// agreement of every amplitude and every outcome. Qubit counts cross
+// the parallel shard threshold and the reduction block boundary
+// (parMinSpan = 2^13 iterations, reduceBlock = 2^12), so the sharded
+// parallel path is compared against the serial oracle too.
+func TestKernelsMatchGenericOracle(t *testing.T) {
+	pool := diffPool()
+	for _, tc := range []struct {
+		n, gates, workers int
+	}{
+		{1, 60, 1},
+		{2, 120, 1},
+		{3, 200, 2},
+		{5, 300, 3},
+		{13, 150, 4}, // pair space exactly one reduction block
+		{14, 150, 4}, // crosses shard and block boundaries
+	} {
+		seed := int64(1000 + tc.n)
+		spec := New(tc.n, rand.New(rand.NewSource(seed)))
+		spec.SetWorkers(tc.workers)
+		oracle := New(tc.n, rand.New(rand.NewSource(seed)))
+		rng := rand.New(rand.NewSource(seed * 7))
+		for i := 0; i < tc.gates; i++ {
+			g, qs := randomOp(pool, tc.n, rng)
+			spec.ApplyGate(g, qs...)
+			oracle.ApplyMatrix(g.Matrix, qs...)
+			if i%23 == 22 {
+				q := rng.Intn(tc.n)
+				ms, mo := spec.Measure(q), oracle.Measure(q)
+				if ms != mo {
+					t.Fatalf("n=%d gate %d: outcome diverged (kernel %d, oracle %d)", tc.n, i, ms, mo)
+				}
+			}
+			if i%37 == 36 || i == tc.gates-1 {
+				sa, oa := spec.Amplitudes(), oracle.Amplitudes()
+				for j := range sa {
+					if sa[j] != oa[j] {
+						t.Fatalf("n=%d after gate %d (%s %v): amp[%d] kernel %v, oracle %v",
+							tc.n, i, g, qs, j, sa[j], oa[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerCountDeterminism asserts bit-equality of amplitudes,
+// measurement outcomes, and every reduction between Workers=1 and
+// Workers=N runs of the same seeded circuit, on a register big enough
+// that the N-worker run really shards (2^14 amplitudes).
+func TestWorkerCountDeterminism(t *testing.T) {
+	const n, ngates, seed = 14, 200, 99
+	pool := diffPool()
+	type trace struct {
+		amps     []complex128
+		outcomes []int
+		probs    []float64
+		norms    []float64
+	}
+	runWith := func(workers int) trace {
+		s := New(n, rand.New(rand.NewSource(seed)))
+		s.SetWorkers(workers)
+		rng := rand.New(rand.NewSource(seed * 3))
+		var tr trace
+		for i := 0; i < ngates; i++ {
+			g, qs := randomOp(pool, n, rng)
+			s.ApplyGate(g, qs...)
+			if i%17 == 16 {
+				q := rng.Intn(n)
+				tr.probs = append(tr.probs, s.ProbOne(q))
+				tr.outcomes = append(tr.outcomes, s.Measure(q))
+				tr.norms = append(tr.norms, s.Norm())
+			}
+		}
+		tr.amps = s.Amplitudes()
+		return tr
+	}
+	ref := runWith(1)
+	for _, w := range []int{2, 3, 5, 8} {
+		got := runWith(w)
+		for i := range ref.probs {
+			if got.probs[i] != ref.probs[i] {
+				t.Fatalf("workers=%d: ProbOne #%d = %v, workers=1 gave %v", w, i, got.probs[i], ref.probs[i])
+			}
+			if got.outcomes[i] != ref.outcomes[i] {
+				t.Fatalf("workers=%d: outcome #%d diverged", w, i)
+			}
+			if got.norms[i] != ref.norms[i] {
+				t.Fatalf("workers=%d: Norm #%d = %v, workers=1 gave %v", w, i, got.norms[i], ref.norms[i])
+			}
+		}
+		for j := range ref.amps {
+			if got.amps[j] != ref.amps[j] {
+				t.Fatalf("workers=%d: amp[%d] = %v, workers=1 gave %v", w, j, got.amps[j], ref.amps[j])
+			}
+		}
+	}
+}
+
+// TestExpectPauliWorkerDeterminism covers the remaining float reduction:
+// the Pauli-string expectation must be bit-identical across worker counts.
+func TestExpectPauliWorkerDeterminism(t *testing.T) {
+	const n, seed = 14, 4242
+	pool := diffPool()
+	build := func(workers int) *State {
+		s := New(n, rand.New(rand.NewSource(seed)))
+		s.SetWorkers(workers)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 120; i++ {
+			g, qs := randomOp(pool, n, rng)
+			s.ApplyGate(g, qs...)
+		}
+		return s
+	}
+	ref := build(1)
+	par := build(7)
+	for q := 0; q < n; q += 3 {
+		for _, ps := range []pauli.PauliString{
+			pauli.ZString(q),
+			pauli.XString(q),
+			pauli.NewPauliString(map[int]pauli.Pauli{q: pauli.Y, (q + 1) % n: pauli.Z}),
+		} {
+			if got, want := par.ExpectPauli(ps), ref.ExpectPauli(ps); got != want {
+				t.Fatalf("⟨%s⟩ workers=7 gives %v, workers=1 gives %v", ps, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelPathsAllocFree pins the 0 allocs/op claim of the serial
+// kernel paths: single-qubit, diagonal, permutation, and the fused
+// ProbOne/Measure path must not allocate after construction.
+func TestKernelPathsAllocFree(t *testing.T) {
+	s := New(12, rand.New(rand.NewSource(5)))
+	rz := gates.RZ(0.3)
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"H", func() { s.ApplyGate(gates.H, 4) }},
+		{"T", func() { s.ApplyGate(gates.T, 3) }},
+		{"RZ", func() { s.ApplyGate(rz, 2) }},
+		{"X", func() { s.ApplyGate(gates.X, 5) }},
+		{"Y", func() { s.ApplyGate(gates.Y, 6) }},
+		{"CNOT", func() { s.ApplyGate(gates.CNOT, 1, 9) }},
+		{"CZ", func() { s.ApplyGate(gates.CZ, 2, 7) }},
+		{"SWAP", func() { s.ApplyGate(gates.SWAP, 0, 11) }},
+		{"Toffoli", func() { s.ApplyGate(gates.Toffoli, 1, 2, 3) }},
+		{"ProbOne", func() { _ = s.ProbOne(4) }},
+		{"Norm", func() { _ = s.Norm() }},
+		{"Measure", func() { _ = s.Measure(8) }},
+	} {
+		if allocs := testing.AllocsPerRun(50, tc.f); allocs != 0 {
+			t.Errorf("%s: %g allocs/op on the serial kernel path, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestFromAmplitudesRequiresNormalization checks the new strictness:
+// unnormalized vectors panic with a clear message, near-normalized
+// vectors (within tolerance) are accepted.
+func TestFromAmplitudesRequiresNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unnormalized", func() {
+		FromAmplitudes([]complex128{0.5, 0.5}, rng)
+	})
+	mustPanic("zero vector", func() {
+		FromAmplitudes(make([]complex128, 4), rng)
+	})
+	w := complex(1/math.Sqrt2, 0)
+	s := FromAmplitudes([]complex128{w, 0, 0, w}, rng)
+	if s.NumQubits() != 2 {
+		t.Fatalf("NumQubits = %d", s.NumQubits())
+	}
+	// Within tolerance: |amp|² = 1 + 3e-7.
+	FromAmplitudes([]complex128{0, complex(math.Sqrt(1+3e-7), 0)}, rng)
+}
+
+// TestMeasureClampsProbability feeds Measure a state whose ProbOne
+// exceeds 1 by accumulated-style float error (legal within the
+// FromAmplitudes tolerance). The clamp must force the draw threshold to
+// 1 (outcome 1, since rand.Float64 < 1 always) and renormalize with
+// p = 1, leaving the amplitude untouched instead of shrinking it.
+func TestMeasureClampsProbability(t *testing.T) {
+	const excess = 3e-7
+	mag := math.Sqrt(1 + excess)
+	s := FromAmplitudes([]complex128{0, complex(mag, 0)}, rand.New(rand.NewSource(11)))
+	if p := s.ProbOne(0); p <= 1 {
+		t.Fatalf("test setup: ProbOne = %v, want > 1", p)
+	}
+	if got := s.Measure(0); got != 1 {
+		t.Fatalf("Measure = %d, want 1", got)
+	}
+	// With the clamp, the renormalization factor is 1/√1: the amplitude
+	// must still be exactly mag, not mag/√(1+excess).
+	if a := s.Amplitudes()[1]; real(a) != mag || imag(a) != 0 {
+		t.Fatalf("clamped projection changed the amplitude: %v, want %v", a, mag)
+	}
+}

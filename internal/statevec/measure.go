@@ -1,0 +1,111 @@
+// Measurement and reduction paths. ProbOne, Norm and ExpectPauli fold
+// per-block partial sums on the fixed grid of dispatch.go, so their
+// float results are bit-identical for any worker count; Measure fuses
+// the probability reduction with a single clamped projection +
+// renormalization pass over the amplitude pairs.
+package statevec
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/gates"
+	"repro/internal/pauli"
+)
+
+// ProbOne returns the probability of measuring qubit q as 1. Only the
+// bit-set half of the amplitude array is read (direct pair indexing, no
+// full-index bit-test scan).
+func (s *State) ProbOne(q int) float64 {
+	s.checkQubits([]int{q})
+	mask := uint(1) << uint(q)
+	return real(s.reduce(len(s.amp)>>1, kernelOp{code: redProbOne, s1: mask}))
+}
+
+// Measure performs a projective computational-basis measurement of qubit
+// q, collapsing the state, and returns 0 or 1. The branch probability is
+// clamped to [0,1] before the RNG draw and the renormalization, so
+// accumulated float error in ProbOne can never produce a negative
+// complement probability or a >1 draw threshold.
+func (s *State) Measure(q int) int {
+	p1 := s.ProbOne(q)
+	if p1 < 0 {
+		p1 = 0
+	} else if p1 > 1 {
+		p1 = 1
+	}
+	outcome := 0
+	if s.rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.project(q, outcome, p1)
+	return outcome
+}
+
+// project collapses qubit q to the given outcome and renormalizes, in
+// one fused pass over the amplitude pairs. p1 must already be clamped
+// to [0,1]; the complement is clamped here for direct callers.
+func (s *State) project(q, outcome int, p1 float64) {
+	p := p1
+	if outcome == 0 {
+		p = 1 - p1
+	}
+	if p <= 0 {
+		panic("statevec: projecting onto zero-probability outcome")
+	}
+	if p > 1 {
+		p = 1
+	}
+	norm := complex(1/math.Sqrt(p), 0)
+	mask := uint(1) << uint(q)
+	s.run(len(s.amp)>>1, kernelOp{code: opProject, s1: mask, phase: norm, outcome: outcome})
+}
+
+// Reset forces qubit q to |0⟩ by measuring and flipping when necessary.
+func (s *State) Reset(q int) {
+	if s.Measure(q) == 1 {
+		s.ApplyGate(gates.X, q)
+	}
+}
+
+// Norm returns the 2-norm of the state (1 for a valid state).
+func (s *State) Norm() float64 {
+	return math.Sqrt(real(s.reduce(len(s.amp), kernelOp{code: redNorm})))
+}
+
+// ExpectPauli returns the real expectation value ⟨ψ|P|ψ⟩ of a Pauli
+// string, the state-vector counterpart of the stabilizer simulator's
+// deterministic stabilizer query (used to cross-check the two back-ends).
+func (s *State) ExpectPauli(ps pauli.PauliString) float64 {
+	var xMask, zMask, yMask uint
+	// Order-free: per-qubit OR into disjoint mask bits, plus the
+	// bounds-check panic guard.
+	//qa:allow determinism
+	for q, p := range ps.Ops {
+		s.checkQubits([]int{q})
+		if p.HasX() {
+			xMask |= 1 << uint(q)
+		}
+		if p.HasZ() {
+			zMask |= 1 << uint(q)
+		}
+		if p == pauli.Y {
+			yMask |= 1 << uint(q)
+		}
+	}
+	// P|i⟩ = phase(i) |i ⊕ xMask⟩ with phase from Z components; each Y
+	// contributes a global factor i (Y = iXZ), applied once below.
+	acc := s.reduce(len(s.amp), kernelOp{code: redExpect, aMask: xMask, bMask: zMask})
+	switch bits.OnesCount(yMask) % 4 {
+	case 1:
+		acc *= 1i
+	case 2:
+		acc *= -1
+	case 3:
+		acc *= -1i
+	}
+	if ps.Negative {
+		acc = -acc
+	}
+	return real(acc)
+}

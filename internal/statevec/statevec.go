@@ -1,30 +1,35 @@
 // Package statevec implements a universal state-vector quantum simulator,
 // the in-process substitute for the QX Simulator back-end of the thesis
 // (§4.1.1). It stores the full 2^n vector of complex amplitudes, applies
-// gates by matrix-vector multiplication, and performs projective
-// computational-basis measurements. Qubit 0 is the least significant bit
-// of a basis index, matching the thesis listings where the rightmost bit
-// of |000000110⟩ is data qubit 0.
+// gates through specialized kernels (kernels.go, dispatch.go) with the
+// generic matrix-vector path retained as the differential-test oracle,
+// and performs projective computational-basis measurements. Qubit 0 is
+// the least significant bit of a basis index, matching the thesis
+// listings where the rightmost bit of |000000110⟩ is data qubit 0.
 package statevec
 
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"math/cmplx"
 	"math/rand"
 	"sort"
 	"strings"
-
-	"repro/internal/gates"
-	"repro/internal/pauli"
 )
+
+// normTol bounds how far |amp|² may drift from 1 in FromAmplitudes.
+const normTol = 1e-6
 
 // State is a pure quantum state of n qubits.
 type State struct {
 	n   int
 	amp []complex128
 	rng *rand.Rand
+	// workers is the resolved kernel shard count (≥ 1, default 1).
+	workers int
+	// red holds per-block partial sums for the deterministic reductions
+	// (one slot per fixed reduction block, see dispatch.go).
+	red []complex128
 }
 
 // New creates the all-zeros state |0...0⟩ of n qubits. The supplied RNG
@@ -33,13 +38,16 @@ func New(n int, rng *rand.Rand) *State {
 	if n < 1 || n > 30 {
 		panic(fmt.Sprintf("statevec: unsupported qubit count %d", n))
 	}
-	s := &State{n: n, amp: make([]complex128, 1<<n), rng: rng}
+	s := &State{n: n, amp: make([]complex128, 1<<n), rng: rng, workers: 1}
+	s.red = make([]complex128, numReduceBlocks(len(s.amp)))
 	s.amp[0] = 1
 	return s
 }
 
 // FromAmplitudes builds a state from an explicit amplitude vector whose
-// length must be a power of two. The vector is used directly (not copied).
+// length must be a power of two and whose 2-norm must be 1 within
+// tolerance (matching the strictness of New, which only ever produces
+// normalized states). The vector is used directly (not copied).
 func FromAmplitudes(amp []complex128, rng *rand.Rand) *State {
 	n := 0
 	for 1<<n < len(amp) {
@@ -48,7 +56,25 @@ func FromAmplitudes(amp []complex128, rng *rand.Rand) *State {
 	if 1<<n != len(amp) || n < 1 {
 		panic(fmt.Sprintf("statevec: amplitude vector length %d is not a power of two", len(amp)))
 	}
-	return &State{n: n, amp: amp, rng: rng}
+	n2 := 0.0
+	for _, a := range amp {
+		n2 += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(n2-1) > normTol {
+		panic(fmt.Sprintf("statevec: amplitude vector is not normalized (|amp|² = %g)", n2))
+	}
+	s := &State{n: n, amp: amp, rng: rng, workers: 1}
+	s.red = make([]complex128, numReduceBlocks(len(amp)))
+	return s
+}
+
+// numReduceBlocks sizes the partial-sum scratch for an amplitude count.
+func numReduceBlocks(m int) int {
+	nb := (m + reduceBlock - 1) >> reduceBlockShift
+	if nb < 1 {
+		nb = 1
+	}
+	return nb
 }
 
 // NumQubits returns n.
@@ -68,20 +94,11 @@ func (s *State) checkQubits(qs []int) {
 	}
 }
 
-// ApplyGate applies a registered unitary gate. For multi-qubit gates the
-// first listed qubit is the most significant bit of the gate matrix basis
-// (control first for CNOT/CZ, the two controls first for Toffoli).
-func (s *State) ApplyGate(g *gates.Gate, qubits ...int) {
-	if g.Matrix == nil {
-		panic(fmt.Sprintf("statevec: gate %s has no matrix", g))
-	}
-	if len(qubits) != g.Arity {
-		panic(fmt.Sprintf("statevec: gate %s wants %d qubits, got %d", g, g.Arity, len(qubits)))
-	}
-	s.ApplyMatrix(g.Matrix, qubits...)
-}
-
-// ApplyMatrix applies an arbitrary 2^k × 2^k unitary to the listed qubits.
+// ApplyMatrix applies an arbitrary 2^k × 2^k unitary to the listed
+// qubits through the generic gather/scatter loop. This is the reference
+// path: ApplyGate dispatches to the specialized kernels instead, and the
+// differential tests drive both through identical circuits requiring
+// exact agreement (the chp.Reference pattern).
 func (s *State) ApplyMatrix(m []complex128, qubits ...int) {
 	s.checkQubits(qubits)
 	k := len(qubits)
@@ -141,71 +158,6 @@ func (s *State) ApplyMatrix(m []complex128, qubits ...int) {
 			s.amp[idx] = sum
 		}
 	}
-}
-
-// ProbOne returns the probability of measuring qubit q as 1.
-func (s *State) ProbOne(q int) float64 {
-	s.checkQubits([]int{q})
-	mask := uint(1) << uint(q)
-	p := 0.0
-	for i, a := range s.amp {
-		if uint(i)&mask != 0 {
-			p += real(a)*real(a) + imag(a)*imag(a)
-		}
-	}
-	return p
-}
-
-// Measure performs a projective computational-basis measurement of qubit
-// q, collapsing the state, and returns 0 or 1.
-func (s *State) Measure(q int) int {
-	p1 := s.ProbOne(q)
-	outcome := 0
-	if s.rng.Float64() < p1 {
-		outcome = 1
-	}
-	s.project(q, outcome, p1)
-	return outcome
-}
-
-// project collapses qubit q to the given outcome and renormalizes.
-func (s *State) project(q, outcome int, p1 float64) {
-	p := p1
-	if outcome == 0 {
-		p = 1 - p1
-	}
-	if p <= 0 {
-		panic("statevec: projecting onto zero-probability outcome")
-	}
-	norm := complex(1/math.Sqrt(p), 0)
-	mask := uint(1) << uint(q)
-	for i := range s.amp {
-		bit := 0
-		if uint(i)&mask != 0 {
-			bit = 1
-		}
-		if bit == outcome {
-			s.amp[i] *= norm
-		} else {
-			s.amp[i] = 0
-		}
-	}
-}
-
-// Reset forces qubit q to |0⟩ by measuring and flipping when necessary.
-func (s *State) Reset(q int) {
-	if s.Measure(q) == 1 {
-		s.ApplyGate(gates.X, q)
-	}
-}
-
-// Norm returns the 2-norm of the state (1 for a valid state).
-func (s *State) Norm() float64 {
-	n := 0.0
-	for _, a := range s.amp {
-		n += real(a)*real(a) + imag(a)*imag(a)
-	}
-	return math.Sqrt(n)
 }
 
 // EqualUpToGlobalPhase reports whether two states are equal up to a
@@ -316,6 +268,7 @@ func (s *State) ExtractSubsystem(keep []int) (*State, error) {
 		return nil, fmt.Errorf("statevec: zero state")
 	}
 	out := New(len(keep), s.rng)
+	out.workers = s.workers
 	out.amp[0] = 0
 	for i, a := range s.amp {
 		if uint(i)&restMask != restVal {
@@ -332,65 +285,14 @@ func (s *State) ExtractSubsystem(keep []int) (*State, error) {
 	return out, nil
 }
 
-// Clone deep-copies the state (sharing the RNG).
+// Clone deep-copies the state (sharing the RNG, keeping the worker
+// setting, with a private reduction scratch).
 func (s *State) Clone() *State {
-	return &State{n: s.n, amp: append([]complex128(nil), s.amp...), rng: s.rng}
-}
-
-// ExpectPauli returns the real expectation value ⟨ψ|P|ψ⟩ of a Pauli
-// string, the state-vector counterpart of the stabilizer simulator's
-// deterministic stabilizer query (used to cross-check the two back-ends).
-func (s *State) ExpectPauli(ps pauli.PauliString) float64 {
-	var xMask, zMask, yMask uint
-	// Order-free: per-qubit OR into disjoint mask bits, plus the
-	// bounds-check panic guard.
-	//qa:allow determinism
-	for q, p := range ps.Ops {
-		s.checkQubits([]int{q})
-		if p.HasX() {
-			xMask |= 1 << uint(q)
-		}
-		if p.HasZ() {
-			zMask |= 1 << uint(q)
-		}
-		if p == pauli.Y {
-			yMask |= 1 << uint(q)
-		}
+	return &State{
+		n:       s.n,
+		amp:     append([]complex128(nil), s.amp...),
+		rng:     s.rng,
+		workers: s.workers,
+		red:     make([]complex128, numReduceBlocks(len(s.amp))),
 	}
-	// P|i⟩ = phase(i) |i ⊕ xMask⟩ with phase from Z components and the
-	// i factors of Y = iXZ acting on the pre-flip bits.
-	yCount := bits.OnesCount(yMask)
-	var acc complex128
-	for i, a := range s.amp {
-		// Deliberate exact compare: skipping exactly-zero amplitudes is a
-		// pure optimization, near-zeros still contribute.
-		//qa:allow float-eq
-		if a == 0 {
-			continue
-		}
-		j := uint(i) ^ xMask
-		// Z components give (−1)^{bits of i & zMask}; each Y contributes
-		// an extra i times (−1)^{bit set} folded below.
-		sign := bits.OnesCount(uint(i)&zMask) & 1
-		phase := complex(1, 0)
-		if sign == 1 {
-			phase = -1
-		}
-		// Global i^yCount, and each Y on a set bit flips... fold via the
-		// standard Y action: Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩. The Z-mask term
-		// above already accounts for (−1)^{bit}; multiply by i per Y.
-		acc += cmplx.Conj(s.amp[j]) * phase * a
-	}
-	switch yCount % 4 {
-	case 1:
-		acc *= 1i
-	case 2:
-		acc *= -1
-	case 3:
-		acc *= -1i
-	}
-	if ps.Negative {
-		acc = -acc
-	}
-	return real(acc)
 }
