@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -25,14 +26,37 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size, one run per distance (0 = all CPUs); results are identical for any value")
 	flag.Parse()
 
+	// Validate every flag up front: a bad invocation exits with a usage
+	// error before any simulation starts, never after a partial run.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dsweep: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected argument %q", flag.Arg(0))
+	}
 	var ds []int
 	for _, tok := range strings.Split(*distances, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsweep:", err)
-			os.Exit(2)
+			fail("%v", err)
+		}
+		if d < 3 || d%2 == 0 {
+			fail("-d distances must be odd and >= 3, got %d", d)
 		}
 		ds = append(ds, d)
+	}
+	switch {
+	case len(ds) == 0:
+		fail("-d must list at least one distance")
+	case *per <= 0 || *per > 1 || math.IsNaN(*per):
+		fail("-per must be in (0, 1], got %g", *per)
+	case *errors < 1:
+		fail("-errors must be >= 1, got %d", *errors)
+	case *maxWindows < 1:
+		fail("-maxwindows must be >= 1, got %d", *maxWindows)
+	case *workers < 0:
+		fail("-workers must be >= 0, got %d", *workers)
 	}
 
 	fmt.Printf("distance scaling at PER=%g (windows are (d−1) ESM rounds long)\n\n", *per)

@@ -7,9 +7,11 @@
 //
 //	lersweep -range full -type x -mode both -samples 3 -errors 20
 //	lersweep -range zoom -type z -mode pf -csv out.csv
+//	lersweep -store ./sweeps -samples 3   # cache shards; reruns are free
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sweepstore"
 )
 
 func main() {
@@ -33,15 +36,50 @@ func main() {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
 	csvPath := flag.String("csv", "", "also write CSV to this file (suffix _pf/_nopf added in both mode)")
 	engineName := flag.String("engine", "stack", "simulation engine: stack (QPDO oracle) or framesim (bit-sliced 64-shot Pauli-frame engine)")
+	storeDir := flag.String("store", "", "content-addressed shard store directory: cache results and checkpoint for resume")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	// Validate every flag combination up front: a bad invocation must
+	// exit with a usage error before any sweep work (or profile file)
+	// is started, not fail halfway through a multi-sweep run.
 	engine, err := experiments.ParseEngine(*engineName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lersweep:", err)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lersweep: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	switch {
+	case flag.NArg() > 0:
+		fail("unexpected argument %q", flag.Arg(0))
+	case err != nil:
+		fail("%v", err)
+	case *rng != "full" && *rng != "zoom":
+		fail("unknown range %q (want full or zoom)", *rng)
+	case !strings.EqualFold(*etype, "x") && !strings.EqualFold(*etype, "z"):
+		fail("unknown type %q (want x or z)", *etype)
+	case *mode != "nopf" && *mode != "pf" && *mode != "both":
+		fail("unknown mode %q (want nopf, pf or both)", *mode)
+	case *points < 1:
+		fail("-points must be >= 1, got %d", *points)
+	case *samples < 0:
+		fail("-samples must be >= 0, got %d", *samples)
+	case *errors < 1:
+		fail("-errors must be >= 1, got %d", *errors)
+	case *maxWindows < 1:
+		fail("-maxwindows must be >= 1, got %d", *maxWindows)
+	case *workers < 0:
+		fail("-workers must be >= 0, got %d", *workers)
+	}
+
+	var store *sweepstore.Store
+	if *storeDir != "" {
+		store, err = sweepstore.Open(*storeDir)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -93,6 +131,20 @@ func main() {
 		},
 	}
 
+	// runSweep dispatches to the cached pipeline when a store is
+	// configured; results are bit-identical either way.
+	runSweep := func(c experiments.SweepConfig) ([]experiments.PointResult, error) {
+		if store == nil {
+			return experiments.RunSweep(c)
+		}
+		pts, err := sweepstore.RunCached(context.Background(), store, c, nil)
+		if err == nil {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "  store: %d shards cached, %d computed\n", st.ShardHits, st.ShardMisses)
+		}
+		return pts, err
+	}
+
 	run := func(withPF bool, label string) []experiments.PointResult {
 		c := cfg
 		c.WithPauliFrame = withPF
@@ -101,7 +153,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "sweep %s (%d points × %d samples, %s errors)...\n",
 			label, *points, *samples, et)
-		pts, err := experiments.RunSweep(c)
+		pts, err := runSweep(c)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lersweep:", err)
 			os.Exit(1)
@@ -146,8 +198,5 @@ func main() {
 				without[i].PER, without[i].MeanLER(), with[i].MeanLER(),
 				without[i].MeanLER()-with[i].MeanLER())
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "lersweep: unknown mode %q\n", *mode)
-		os.Exit(2)
 	}
 }

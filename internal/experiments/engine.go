@@ -61,82 +61,9 @@ func runFrameLER(cfg LERConfig) (LERResult, error) {
 	return frameToLER(rs[0]), nil
 }
 
-// runFrameSweep is the framesim back end of RunSweep: one compiled engine
-// per sweep point (engines are immutable and shared across workers), and
-// one 64-shot batch per work unit. Batch words are fixed work units seeded
-// by ShardSeed(BaseSeed, point, word), so results are bit-identical for
-// any worker count — the same determinism contract as the stack sweep,
-// though the two engines' RNG streams (and hence individual runs) differ.
-func runFrameSweep(cfg SweepConfig) ([]PointResult, error) {
-	points, samples := len(cfg.PERs), cfg.Samples
-	if samples < 0 {
-		samples = 0
-	}
-	words := (samples + 63) / 64
-
-	engines := make([]*framesim.Engine, points)
-	for i, per := range cfg.PERs {
-		e, err := frameEngine(LERConfig{
-			PER:              per,
-			ErrorType:        cfg.ErrorType,
-			WithPauliFrame:   cfg.WithPauliFrame,
-			MaxLogicalErrors: cfg.MaxLogicalErrors,
-			MaxWindows:       cfg.MaxWindows,
-			Seed:             cfg.BaseSeed,
-		}.withDefaults())
-		if err != nil {
-			return nil, err
-		}
-		engines[i] = e
-	}
-
-	runs := make([][]LERResult, points)
-	for i := range runs {
-		runs[i] = make([]LERResult, samples)
-	}
-	var progress *progressCollector
-	if cfg.Progress != nil && words > 0 {
-		progress = newProgressCollector(cfg.PERs, words, cfg.Progress)
-	}
-	workers := resolveWorkers(cfg.Workers)
-	err := forEachShardWorker(points*words, workers, func(w, k int) error {
-		i, wd := k/words, k%words
-		count := samples - wd*64
-		if count > 64 {
-			count = 64
-		}
-		rs, err := engines[i].RunBatch(ShardSeed(cfg.BaseSeed, i, wd), count)
-		if err != nil {
-			return err
-		}
-		for j, r := range rs {
-			runs[i][wd*64+j] = frameToLER(r)
-		}
-		if progress != nil {
-			progress.sampleDone(i)
-		}
-		return nil
-	})
-	if progress != nil {
-		progress.close()
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	out := make([]PointResult, 0, points)
-	for i, per := range cfg.PERs {
-		pt := PointResult{PER: per}
-		for _, r := range runs[i] {
-			pt.LERs = append(pt.LERs, r.LER)
-			pt.WindowCounts = append(pt.WindowCounts, float64(r.Windows))
-			pt.GatesSaved = append(pt.GatesSaved, r.GatesSavedFrac())
-			pt.SlotsSaved = append(pt.SlotsSaved, r.SlotsSavedFrac())
-		}
-		out = append(out, pt)
-		if cfg.Progress != nil && words == 0 {
-			cfg.Progress(i, per)
-		}
-	}
-	return out, nil
-}
+// The framesim back end of sweeps lives in the shared pipeline
+// (pipeline.go): shardRunner compiles one immutable engine per point and
+// runs one 64-shot batch word per shard, seeded by
+// ShardSeed(BaseSeed, point, word) — the same determinism contract as
+// the stack sweep, though the two engines' RNG streams (and hence
+// individual runs) differ.

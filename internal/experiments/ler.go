@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -402,72 +403,18 @@ type SweepConfig struct {
 	Progress func(point int, per float64)
 }
 
-// RunSweep executes repeated LER runs over a PER range. The (point ×
-// sample) runs are independent — each derives its RNG from
-// ShardSeed(BaseSeed, point, sample) — and are fanned out over a bounded
-// worker pool; each worker reuses one simulator stack across its runs
-// (reset between samples, bit-identical to rebuilding); results are
-// gathered in deterministic (point, sample) order.
+// RunSweep executes repeated LER runs over a PER range through the
+// (spec → shards → fold) pipeline of RunSpec. The (point × sample) runs
+// are independent — each derives its RNG from ShardSeed(BaseSeed, point,
+// unit) — and are fanned out over a bounded worker pool; each worker
+// reuses one simulator stack across its runs (reset between samples,
+// bit-identical to rebuilding); results are folded in deterministic
+// (point, sample) order.
 func RunSweep(cfg SweepConfig) ([]PointResult, error) {
-	if cfg.Engine == EngineFrameSim {
-		return runFrameSweep(cfg)
-	}
-	points, samples := len(cfg.PERs), cfg.Samples
-	if samples < 0 {
-		samples = 0
-	}
-	runs := make([][]LERResult, points)
-	for i := range runs {
-		runs[i] = make([]LERResult, samples)
-	}
-
-	var progress *progressCollector
-	if cfg.Progress != nil && samples > 0 {
-		progress = newProgressCollector(cfg.PERs, samples, cfg.Progress)
-	}
-	workers := resolveWorkers(cfg.Workers)
-	pool := newStackPool(workers)
-	err := forEachShardWorker(points*samples, workers, func(w, k int) error {
-		i, s := k/samples, k%samples
-		r, err := pool.run(w, LERConfig{
-			PER:              cfg.PERs[i],
-			ErrorType:        cfg.ErrorType,
-			WithPauliFrame:   cfg.WithPauliFrame,
-			MaxLogicalErrors: cfg.MaxLogicalErrors,
-			MaxWindows:       cfg.MaxWindows,
-			Seed:             ShardSeed(cfg.BaseSeed, i, s),
-		})
-		if err != nil {
-			return err
-		}
-		runs[i][s] = r
-		if progress != nil {
-			progress.sampleDone(i)
-		}
-		return nil
+	return RunSpec(context.Background(), SpecOf(cfg), RunOptions{
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
 	})
-	if progress != nil {
-		progress.close()
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	out := make([]PointResult, 0, points)
-	for i, per := range cfg.PERs {
-		pt := PointResult{PER: per}
-		for _, r := range runs[i] {
-			pt.LERs = append(pt.LERs, r.LER)
-			pt.WindowCounts = append(pt.WindowCounts, float64(r.Windows))
-			pt.GatesSaved = append(pt.GatesSaved, r.GatesSavedFrac())
-			pt.SlotsSaved = append(pt.SlotsSaved, r.SlotsSavedFrac())
-		}
-		out = append(out, pt)
-		if cfg.Progress != nil && samples == 0 {
-			cfg.Progress(i, per) // degenerate sweep: keep the per-point contract
-		}
-	}
-	return out, nil
 }
 
 // LogSpace returns n log-spaced values from lo to hi inclusive.

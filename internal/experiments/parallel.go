@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,15 @@ func forEachShard(n, workers int, job func(i int) error) error {
 // Jobs on the same worker run strictly sequentially, so per-worker state
 // (a reusable simulator stack) needs no locking.
 func forEachShardWorker(n, workers int, job func(w, i int) error) error {
+	return forEachShardWorkerCtx(context.Background(), n, workers, job)
+}
+
+// forEachShardWorkerCtx is forEachShardWorker with cancellation: between
+// jobs every worker checks ctx, and a cancelled context stops the pool
+// from handing out new shards. Jobs already started run to completion
+// (their results stay valid — the caller may have persisted them), and
+// ctx.Err() is returned unless a job error takes precedence.
+func forEachShardWorkerCtx(ctx context.Context, n, workers int, job func(w, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -58,6 +68,9 @@ func forEachShardWorker(n, workers int, job func(w, i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := job(0, i); err != nil {
 				return err
 			}
@@ -74,7 +87,7 @@ func forEachShardWorker(n, workers int, job func(w, i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
@@ -93,7 +106,7 @@ func forEachShardWorker(n, workers int, job func(w, i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // progressCollector serializes Progress callbacks through one goroutine

@@ -1,0 +1,202 @@
+// The sweep pipeline: a sweep is a pure (spec → shard results → fold)
+// computation. RunSpec enumerates the spec's shards, computes (or looks
+// up) each one on a bounded worker pool, and folds the per-shard runs
+// into PointResults. The local CLIs (RunSweep) and the sweep service
+// (cmd/sweepd via internal/sweepstore) share this single path, so cached,
+// resumed, and networked sweeps are bit-identical to local ones.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/framesim"
+)
+
+// RunOptions carries the runtime-only knobs of a pipeline run — none of
+// them may change the folded results, only how (and whether) shards are
+// computed.
+type RunOptions struct {
+	// Workers bounds the worker pool. Zero means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, receives one call per completed point in
+	// ascending point order, serialized through the in-order collector.
+	Progress func(point int, per float64)
+	// Lookup, when non-nil, is consulted before computing a shard; a hit
+	// must return exactly sh.Count runs previously produced by an equal
+	// ShardConfig. Short or oversized hits are ignored and recomputed.
+	// Called concurrently from worker goroutines.
+	Lookup func(sh Shard) ([]LERResult, bool)
+	// Persist, when non-nil, receives every computed shard's runs
+	// (cache hits are not re-persisted). A Persist error aborts the
+	// sweep. Called concurrently from worker goroutines.
+	Persist func(sh Shard, runs []LERResult) error
+}
+
+// shardRunner computes shards: one reusable stack per worker for the
+// QPDO engine, one lazily compiled immutable framesim engine per point.
+type shardRunner struct {
+	spec Spec
+	pool *stackPool
+
+	once    []sync.Once
+	engines []*framesim.Engine
+	engErr  []error
+}
+
+func newShardRunner(spec Spec, workers int) *shardRunner {
+	return &shardRunner{
+		spec:    spec,
+		pool:    newStackPool(workers),
+		once:    make([]sync.Once, len(spec.PERs)),
+		engines: make([]*framesim.Engine, len(spec.PERs)),
+		engErr:  make([]error, len(spec.PERs)),
+	}
+}
+
+// lerConfig builds the per-shard LERConfig of point p (stack engine).
+func (r *shardRunner) lerConfig(p int, seed int64) LERConfig {
+	et := LogicalX
+	if r.spec.ErrorType == "z" {
+		et = LogicalZ
+	}
+	return LERConfig{
+		PER:              r.spec.PERs[p],
+		ErrorType:        et,
+		WithPauliFrame:   r.spec.WithPauliFrame,
+		MaxLogicalErrors: r.spec.MaxLogicalErrors,
+		MaxWindows:       r.spec.MaxWindows,
+		Seed:             seed,
+	}
+}
+
+// engine returns point p's compiled framesim engine, building it on
+// first use. Engines are immutable and shared across workers; the
+// compile seed is the sweep's BaseSeed (the noiseless reference run),
+// matching the pre-pipeline frame sweep exactly.
+func (r *shardRunner) engine(p int) (*framesim.Engine, error) {
+	r.once[p].Do(func() {
+		r.engines[p], r.engErr[p] = frameEngine(r.lerConfig(p, r.spec.BaseSeed).withDefaults())
+	})
+	return r.engines[p], r.engErr[p]
+}
+
+// run computes shard sh on worker w.
+func (r *shardRunner) run(w int, sh Shard) ([]LERResult, error) {
+	if r.spec.Engine == EngineNameFrameSim {
+		e, err := r.engine(sh.Point)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.RunBatch(sh.Seed, sh.Count)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]LERResult, len(rs))
+		for i, shot := range rs {
+			out[i] = frameToLER(shot)
+		}
+		return out, nil
+	}
+	res, err := r.pool.run(w, r.lerConfig(sh.Point, sh.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return []LERResult{res}, nil
+}
+
+// RunSpec executes a sweep spec: every shard is looked up (opt.Lookup),
+// or computed and handed to opt.Persist, then the per-shard runs are
+// folded into PointResults. The fold is bit-identical for any worker
+// count, any Lookup hit pattern, and any interleaving of cached and
+// computed shards, because each shard's runs are a pure function of its
+// ShardConfig. Cancelling ctx stops handing out shards and returns
+// ctx.Err(); shards persisted before the cancel remain valid for resume.
+func RunSpec(ctx context.Context, spec Spec, opt RunOptions) ([]PointResult, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.NumShards()
+	runs := make([][]LERResult, n)
+
+	var progress *progressCollector
+	if opt.Progress != nil && spec.shardsPerPoint() > 0 {
+		progress = newProgressCollector(spec.PERs, spec.shardsPerPoint(), opt.Progress)
+	}
+	workers := resolveWorkers(opt.Workers)
+	runner := newShardRunner(spec, workers)
+	err := forEachShardWorkerCtx(ctx, n, workers, func(w, i int) error {
+		sh := spec.Shard(i)
+		if opt.Lookup != nil {
+			if rs, ok := opt.Lookup(sh); ok && len(rs) == sh.Count {
+				runs[i] = rs
+				if progress != nil {
+					progress.sampleDone(sh.Point)
+				}
+				return nil
+			}
+		}
+		rs, err := runner.run(w, sh)
+		if err != nil {
+			return err
+		}
+		if len(rs) != sh.Count {
+			return fmt.Errorf("shard %d: engine produced %d runs, want %d", i, len(rs), sh.Count)
+		}
+		if opt.Persist != nil {
+			if err := opt.Persist(sh, rs); err != nil {
+				return fmt.Errorf("persist shard %d: %w", i, err)
+			}
+		}
+		runs[i] = rs
+		if progress != nil {
+			progress.sampleDone(sh.Point)
+		}
+		return nil
+	})
+	if progress != nil {
+		progress.close()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := FoldShards(spec, runs)
+	if opt.Progress != nil && spec.shardsPerPoint() == 0 {
+		for i, per := range spec.PERs {
+			opt.Progress(i, per) // degenerate sweep: keep the per-point contract
+		}
+	}
+	return out, nil
+}
+
+// FoldShards merges per-shard runs (indexed like Spec.Shard) into the
+// per-point aggregates. The fold is deterministic: runs are placed by
+// their (point, offset) coordinates, never by completion order.
+func FoldShards(spec Spec, shardRuns [][]LERResult) []PointResult {
+	spec = spec.Normalized()
+	points, samples := len(spec.PERs), spec.Samples
+	perPoint := make([][]LERResult, points)
+	for i := range perPoint {
+		perPoint[i] = make([]LERResult, samples)
+	}
+	for i, rs := range shardRuns {
+		sh := spec.Shard(i)
+		copy(perPoint[sh.Point][sh.Offset:], rs)
+	}
+
+	out := make([]PointResult, 0, points)
+	for i, per := range spec.PERs {
+		pt := PointResult{PER: per}
+		for _, r := range perPoint[i] {
+			pt.LERs = append(pt.LERs, r.LER)
+			pt.WindowCounts = append(pt.WindowCounts, float64(r.Windows))
+			pt.GatesSaved = append(pt.GatesSaved, r.GatesSavedFrac())
+			pt.SlotsSaved = append(pt.SlotsSaved, r.SlotsSavedFrac())
+		}
+		out = append(out, pt)
+	}
+	return out
+}

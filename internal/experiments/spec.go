@@ -1,0 +1,224 @@
+// Sweep specifications: the serializable, canonical description of a
+// PER sweep and its decomposition into independent shards. A Spec is the
+// wire format of the sweep service (cmd/sweepd) and the hashing input of
+// the content-addressed result store (internal/sweepstore): everything a
+// sweep's results depend on is in the Spec, and everything one shard's
+// results depend on is in its ShardConfig.
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Engine names used in serialized specs (the -engine flag vocabulary).
+const (
+	EngineNameStack    = "stack"
+	EngineNameFrameSim = "framesim"
+)
+
+// Spec is the serializable form of a SweepConfig: the pure inputs of a
+// sweep, with the runtime-only fields (Workers, Progress) stripped.
+// Results are a pure function of a normalized Spec — same Spec, same
+// bits, for any worker count, process, or machine.
+type Spec struct {
+	// Engine selects the simulation engine: "stack" or "framesim".
+	Engine string `json:"engine"`
+	// PERs are the physical error rates of the sweep points.
+	PERs []float64 `json:"pers"`
+	// Samples is the number of Monte-Carlo repetitions per point.
+	Samples int `json:"samples"`
+	// ErrorType is the monitored logical error: "x" or "z".
+	ErrorType string `json:"error_type"`
+	// WithPauliFrame inserts the Pauli frame layer.
+	WithPauliFrame bool `json:"with_pauli_frame"`
+	// MaxLogicalErrors / MaxWindows terminate each run.
+	MaxLogicalErrors int `json:"max_logical_errors"`
+	MaxWindows       int `json:"max_windows"`
+	// BaseSeed drives all randomness via ShardSeed.
+	BaseSeed int64 `json:"base_seed"`
+}
+
+// SpecOf extracts the serializable part of a SweepConfig.
+func SpecOf(cfg SweepConfig) Spec {
+	et := "x"
+	if cfg.ErrorType == LogicalZ {
+		et = "z"
+	}
+	return Spec{
+		Engine:           cfg.Engine.String(),
+		PERs:             cfg.PERs,
+		Samples:          cfg.Samples,
+		ErrorType:        et,
+		WithPauliFrame:   cfg.WithPauliFrame,
+		MaxLogicalErrors: cfg.MaxLogicalErrors,
+		MaxWindows:       cfg.MaxWindows,
+		BaseSeed:         cfg.BaseSeed,
+	}
+}
+
+// SweepConfig converts the spec back to a runnable configuration
+// (Workers and Progress are left at their zero values).
+func (s Spec) SweepConfig() (SweepConfig, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return SweepConfig{}, err
+	}
+	engine, err := ParseEngine(s.Engine)
+	if err != nil {
+		return SweepConfig{}, err
+	}
+	et := LogicalX
+	if s.ErrorType == "z" {
+		et = LogicalZ
+	}
+	return SweepConfig{
+		Engine:           engine,
+		PERs:             s.PERs,
+		Samples:          s.Samples,
+		ErrorType:        et,
+		WithPauliFrame:   s.WithPauliFrame,
+		MaxLogicalErrors: s.MaxLogicalErrors,
+		MaxWindows:       s.MaxWindows,
+		BaseSeed:         s.BaseSeed,
+	}, nil
+}
+
+// Normalized fills the defaulted fields with their effective values, so
+// that two specs describing the same computation hash identically:
+// Samples<0 runs 0 samples, and the termination caps default exactly as
+// LERConfig.withDefaults applies them at run time.
+func (s Spec) Normalized() Spec {
+	if s.Engine == "" {
+		s.Engine = EngineNameStack
+	}
+	if s.ErrorType == "" {
+		s.ErrorType = "x"
+	}
+	if s.Samples < 0 {
+		s.Samples = 0
+	}
+	if s.MaxLogicalErrors <= 0 {
+		s.MaxLogicalErrors = 50
+	}
+	if s.MaxWindows <= 0 {
+		s.MaxWindows = 2_000_000
+	}
+	return s
+}
+
+// Validate rejects specs that cannot be run (or could not be cached
+// reproducibly). It expects a Normalized spec.
+func (s Spec) Validate() error {
+	switch s.Engine {
+	case EngineNameStack, EngineNameFrameSim:
+	default:
+		return fmt.Errorf("spec: unknown engine %q (want %s or %s)", s.Engine, EngineNameStack, EngineNameFrameSim)
+	}
+	switch s.ErrorType {
+	case "x", "z":
+	default:
+		return fmt.Errorf("spec: unknown error_type %q (want x or z)", s.ErrorType)
+	}
+	if len(s.PERs) == 0 {
+		return fmt.Errorf("spec: no PER points")
+	}
+	for i, p := range s.PERs {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 || p > 1 {
+			return fmt.Errorf("spec: PER point %d is %v, want 0 < p <= 1", i, p)
+		}
+	}
+	return nil
+}
+
+// Shard addresses one independent work unit of a sweep. Stack-engine
+// shards are single (point × sample) runs; framesim shards are 64-shot
+// batch words. Shards are a pure function of the spec: Shard(i) is the
+// same struct in every process.
+type Shard struct {
+	// Index is the shard's position in 0..NumShards-1.
+	Index int
+	// Point is the PER point the shard contributes to.
+	Point int
+	// Offset is the first sample index the shard produces.
+	Offset int
+	// Count is the number of runs the shard produces (1 for the stack
+	// engine, up to 64 for a framesim batch word).
+	Count int
+	// Seed is ShardSeed(BaseSeed, Point, unit): the shard's RNG seed.
+	Seed int64
+}
+
+// shardsPerPoint returns the number of shards each PER point splits
+// into. It expects a Normalized spec.
+func (s Spec) shardsPerPoint() int {
+	if s.Engine == EngineNameFrameSim {
+		return (s.Samples + 63) / 64
+	}
+	return s.Samples
+}
+
+// NumShards returns the total shard count of the sweep.
+func (s Spec) NumShards() int {
+	s = s.Normalized()
+	return len(s.PERs) * s.shardsPerPoint()
+}
+
+// Shard returns the i'th work unit. The enumeration order is
+// point-major — exactly the (point × sample) order the pre-pipeline
+// sweep drivers used, which keeps the seeded golden results identical.
+func (s Spec) Shard(i int) Shard {
+	s = s.Normalized()
+	spp := s.shardsPerPoint()
+	p, u := i/spp, i%spp
+	sh := Shard{Index: i, Point: p, Offset: u, Count: 1, Seed: ShardSeed(s.BaseSeed, p, u)}
+	if s.Engine == EngineNameFrameSim {
+		sh.Offset = u * 64
+		sh.Count = s.Samples - sh.Offset
+		if sh.Count > 64 {
+			sh.Count = 64
+		}
+	}
+	return sh
+}
+
+// ShardConfig is the complete engine-level description of one shard's
+// computation: every input its results depend on. Equal ShardConfigs
+// produce bit-identical results (that is the repo's determinism
+// contract), which makes the struct the natural content-address key for
+// the sweep result cache.
+type ShardConfig struct {
+	Engine           string  `json:"engine"`
+	PER              float64 `json:"per"`
+	ErrorType        string  `json:"error_type"`
+	WithPauliFrame   bool    `json:"with_pauli_frame"`
+	MaxLogicalErrors int     `json:"max_logical_errors"`
+	MaxWindows       int     `json:"max_windows"`
+	// Seed is the shard's ShardSeed-derived RNG seed.
+	Seed int64 `json:"seed"`
+	// Shots is the number of runs the shard produces.
+	Shots int `json:"shots"`
+	// RefSeed is the framesim noiseless-reference seed (the sweep's
+	// BaseSeed); zero for the stack engine, whose runs depend on Seed
+	// alone.
+	RefSeed int64 `json:"ref_seed"`
+}
+
+// ShardConfig returns the content-address description of shard sh.
+func (s Spec) ShardConfig(sh Shard) ShardConfig {
+	s = s.Normalized()
+	sc := ShardConfig{
+		Engine:           s.Engine,
+		PER:              s.PERs[sh.Point],
+		ErrorType:        s.ErrorType,
+		WithPauliFrame:   s.WithPauliFrame,
+		MaxLogicalErrors: s.MaxLogicalErrors,
+		MaxWindows:       s.MaxWindows,
+		Seed:             sh.Seed,
+		Shots:            sh.Count,
+	}
+	if s.Engine == EngineNameFrameSim {
+		sc.RefSeed = s.BaseSeed
+	}
+	return sc
+}

@@ -1,0 +1,51 @@
+package sweepstore
+
+import (
+	"context"
+
+	"repro/internal/experiments"
+)
+
+// RunCached executes a sweep through the experiments pipeline with the
+// store as shard cache and checkpoint: every shard is first looked up by
+// its content address, and every computed shard is persisted as soon as
+// it finishes — so a cancelled or crashed sweep resumes from the store
+// and folds to results bit-identical with an uninterrupted run.
+//
+// note, when non-nil, observes each shard as it resolves (cached
+// reports whether it was served from the store); it is called
+// concurrently from worker goroutines. The local CLIs (-store) and the
+// sweep service share this exact path.
+func RunCached(ctx context.Context, st *Store, cfg experiments.SweepConfig, note func(sh experiments.Shard, cached bool)) ([]experiments.PointResult, error) {
+	spec := experiments.SpecOf(cfg).Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	// Precompute the content address of every shard once; keys are pure
+	// functions of the spec.
+	keys := make([]string, spec.NumShards())
+	for i := range keys {
+		k, err := ShardKey(spec.ShardConfig(spec.Shard(i)))
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	return experiments.RunSpec(ctx, spec, experiments.RunOptions{
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
+		Lookup: func(sh experiments.Shard) ([]experiments.LERResult, bool) {
+			runs, ok := st.GetShard(keys[sh.Index], sh.Count, sh.Seed)
+			if ok && note != nil {
+				note(sh, true)
+			}
+			return runs, ok
+		},
+		Persist: func(sh experiments.Shard, runs []experiments.LERResult) error {
+			if note != nil {
+				note(sh, false)
+			}
+			return st.PutShard(keys[sh.Index], sh.Seed, runs)
+		},
+	})
+}
