@@ -35,7 +35,10 @@ func main() {
 	seed := flag.Int64("seed", 2017, "base RNG seed")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
 	csvPath := flag.String("csv", "", "also write CSV to this file (suffix _pf/_nopf added in both mode)")
-	engineName := flag.String("engine", "stack", "simulation engine: stack (QPDO oracle) or framesim (bit-sliced 64-shot Pauli-frame engine)")
+	engineName := flag.String("engine", "stack", "simulation engine: stack (QPDO oracle), framesim (bit-sliced 64-shot Pauli-frame engine) or sparse (gap-skipping frame engine, fastest at low PER)")
+	stopRel := flag.Float64("stoprel", 0, "adaptive early stop: target relative 95% Wilson half-width on each point's LER (0 = run all samples)")
+	stopMin := flag.Int("stopmin", 0, "adaptive early stop: minimum samples per point before stopping (0 = default 64)")
+	stopBatch := flag.Int("stopbatch", 0, "adaptive early stop: decision granularity in samples (0 = default 256)")
 	storeDir := flag.String("store", "", "content-addressed shard store directory: cache results and checkpoint for resume")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -70,6 +73,14 @@ func main() {
 		fail("-maxwindows must be >= 1, got %d", *maxWindows)
 	case *workers < 0:
 		fail("-workers must be >= 0, got %d", *workers)
+	case math.IsNaN(*stopRel) || math.IsInf(*stopRel, 0) || *stopRel < 0:
+		fail("-stoprel must be a finite value >= 0, got %v", *stopRel)
+	case *stopMin < 0:
+		fail("-stopmin must be >= 0, got %d", *stopMin)
+	case *stopBatch < 0:
+		fail("-stopbatch must be >= 0, got %d", *stopBatch)
+	case !(*stopRel > 0) && (*stopMin > 0 || *stopBatch > 0):
+		fail("-stopmin/-stopbatch require -stoprel > 0")
 	}
 
 	var store *sweepstore.Store
@@ -125,6 +136,9 @@ func main() {
 		MaxLogicalErrors: *errors,
 		MaxWindows:       *maxWindows,
 		BaseSeed:         *seed,
+		AdaptRelWidth:    *stopRel,
+		AdaptMinSamples:  *stopMin,
+		AdaptBatch:       *stopBatch,
 		Workers:          *workers,
 		Progress: func(i int, per float64) {
 			fmt.Fprintf(os.Stderr, "  point %d/%d (PER=%.3e) done\n", i+1, *points, per)

@@ -41,7 +41,7 @@ func main() {
 	out := flag.String("o", "", "write the markdown report here (default stdout)")
 	seed := flag.Int64("seed", 2017, "base seed")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size and state-vector kernel goroutines (0 = all CPUs); results are identical for any value")
-	engineName := flag.String("engine", "stack", "LER-study engine: stack (QPDO oracle) or framesim (bit-sliced, ~80x faster)")
+	engineName := flag.String("engine", "stack", "LER-study engine: stack (QPDO oracle), framesim (bit-sliced, ~80x faster) or sparse (gap-skipping, fastest at low PER)")
 	flag.Parse()
 	sc, ok := scales[*scaleName]
 	if !ok {

@@ -1,0 +1,102 @@
+// Adaptive rare-event sampling: the batch-granular early-stopping
+// executor behind Spec.AdaptRelWidth. Points run sequentially; within a
+// point, shards are computed in fixed-size batches on the worker pool,
+// and after every batch barrier the pooled (m, R) counts decide — via
+// the Wilson score interval — whether the point has reached its target
+// relative precision. Because the decision only ever happens at batch
+// boundaries and only depends on pooled results of fully computed
+// batches, the set of computed shards (and hence the folded results) is
+// bit-identical for any worker count.
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// runAdaptiveSpec executes a Normalized, Validated spec with
+// AdaptRelWidth > 0. The shard enumeration, seeds, Lookup/Persist
+// contract and fold are exactly those of RunSpec; the only difference is
+// that trailing shards of a point that already met the precision target
+// are never computed (their fold slots stay nil).
+func runAdaptiveSpec(ctx context.Context, spec Spec, opt RunOptions) ([]PointResult, error) {
+	spp := spec.shardsPerPoint()
+	runs := make([][]LERResult, len(spec.PERs)*spp)
+	workers := resolveWorkers(opt.Workers)
+	runner := newShardRunner(spec, workers)
+
+	// The stop rule is sample-granular in the spec but shard-granular in
+	// execution: frame-engine shards carry up to 64 samples each.
+	batchShards := spec.AdaptBatch
+	if spec.batchEngine() {
+		batchShards = (spec.AdaptBatch + 63) / 64
+	}
+	if batchShards < 1 {
+		batchShards = 1
+	}
+
+	for p, per := range spec.PERs {
+		base := p * spp
+		for done := 0; done < spp; {
+			batch := batchShards
+			if done+batch > spp {
+				batch = spp - done
+			}
+			first := base + done
+			err := forEachShardWorkerCtx(ctx, batch, workers, func(w, k int) error {
+				i := first + k
+				sh := spec.Shard(i)
+				if opt.Lookup != nil {
+					if rs, ok := opt.Lookup(sh); ok && len(rs) == sh.Count {
+						runs[i] = rs
+						return nil
+					}
+				}
+				rs, err := runner.run(w, sh)
+				if err != nil {
+					return err
+				}
+				if len(rs) != sh.Count {
+					return fmt.Errorf("shard %d: engine produced %d runs, want %d", i, len(rs), sh.Count)
+				}
+				if opt.Persist != nil {
+					if err := opt.Persist(sh, rs); err != nil {
+						return fmt.Errorf("persist shard %d: %w", i, err)
+					}
+				}
+				runs[i] = rs
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			done += batch
+
+			// Pool m and R over every computed shard of this point and
+			// stop once the Wilson interval is tight enough. The m > 0
+			// guard keeps zero-error points sampling: an all-zero pool
+			// has no width to converge and pins lo = 0 anyway.
+			var m, r int64
+			nsamp := 0
+			for u := 0; u < done; u++ {
+				for i := range runs[base+u] {
+					m += int64(runs[base+u][i].LogicalErrors)
+					r += int64(runs[base+u][i].Windows)
+					nsamp++
+				}
+			}
+			if nsamp >= spec.AdaptMinSamples && m > 0 {
+				phat := float64(m) / float64(r)
+				if stats.WilsonHalfWidth(m, r, wilsonZ95) <= spec.AdaptRelWidth*phat {
+					break
+				}
+			}
+		}
+		if opt.Progress != nil {
+			opt.Progress(p, per)
+		}
+	}
+	return FoldShards(spec, runs), nil
+}

@@ -154,15 +154,19 @@ func PseudoThreshold(points []PointResult) float64 {
 }
 
 // Table renders a sweep as an aligned text table with an optional CSV
-// twin, the reproduction's stand-in for the thesis plots.
+// twin, the reproduction's stand-in for the thesis plots. Error bars are
+// the 95% Wilson score interval on the pooled m/R proportion — honest in
+// the rare-event regime where the old per-sample normal approximation
+// (mean ± stddev) collapses to zero width.
 func Table(points []PointResult, label string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n", label)
-	fmt.Fprintf(&b, "%-12s %-12s %-12s %-8s %-12s %-12s\n",
-		"PER", "LER", "stddev", "n", "gates_saved", "slots_saved")
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %-12s %-8s %-12s %-12s\n",
+		"PER", "LER", "wilson_lo", "wilson_hi", "n", "gates_saved", "slots_saved")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-12.4e %-12.4e %-12.4e %-8d %-12.5f %-12.5f\n",
-			p.PER, p.MeanLER(), p.StdLER(), len(p.LERs),
+		lo, hi := p.WilsonLER()
+		fmt.Fprintf(&b, "%-12.4e %-12.4e %-12.4e %-12.4e %-8d %-12.5f %-12.5f\n",
+			p.PER, p.MeanLER(), lo, hi, len(p.LERs),
 			mean(p.GatesSaved), mean(p.SlotsSaved))
 	}
 	return b.String()
@@ -171,10 +175,11 @@ func Table(points []PointResult, label string) string {
 // CSV renders the sweep in machine-readable form.
 func CSV(points []PointResult) string {
 	var b strings.Builder
-	b.WriteString("per,ler_mean,ler_std,samples,gates_saved,slots_saved\n")
+	b.WriteString("per,ler_mean,wilson_lo,wilson_hi,samples,errors,windows,gates_saved,slots_saved\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%g,%g,%g,%d,%g,%g\n",
-			p.PER, p.MeanLER(), p.StdLER(), len(p.LERs),
+		lo, hi := p.WilsonLER()
+		fmt.Fprintf(&b, "%g,%g,%g,%g,%d,%d,%d,%g,%g\n",
+			p.PER, p.MeanLER(), lo, hi, len(p.LERs), p.TotalErrors, p.TotalWindows,
 			mean(p.GatesSaved), mean(p.SlotsSaved))
 	}
 	return b.String()

@@ -61,6 +61,44 @@ func runFrameLER(cfg LERConfig) (LERResult, error) {
 	return frameToLER(rs[0]), nil
 }
 
+// sparseEngine compiles the sparse gap-skipping frame engine for one LER
+// configuration; it shares frameEngine's config mapping via
+// framesim.Config, so the two engines always describe the same protocol.
+func sparseEngine(cfg LERConfig) (*framesim.Sparse, error) {
+	model := layers.Depolarizing(cfg.PER)
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	obs := framesim.ObserveX
+	if cfg.ErrorType == LogicalZ {
+		obs = framesim.ObserveZ
+	}
+	return framesim.NewSparse(framesim.Config{
+		Observable:       obs,
+		WithPauliFrame:   cfg.WithPauliFrame,
+		MaxLogicalErrors: cfg.MaxLogicalErrors,
+		MaxWindows:       cfg.MaxWindows,
+		InitRounds:       cfg.InitRounds,
+		DecoderRule:      cfg.DecoderRule,
+		Model:            model,
+		RefSeed:          cfg.Seed,
+	})
+}
+
+// runSparseLER runs a single shot on the sparse frame engine.
+func runSparseLER(cfg LERConfig) (LERResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := sparseEngine(cfg)
+	if err != nil {
+		return LERResult{}, err
+	}
+	rs, err := s.RunBatch(cfg.Seed, 1)
+	if err != nil {
+		return LERResult{}, err
+	}
+	return frameToLER(rs[0]), nil
+}
+
 // The framesim back end of sweeps lives in the shared pipeline
 // (pipeline.go): shardRunner compiles one immutable engine per point and
 // runs one 64-shot batch word per shard, seeded by

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gates"
 	"repro/internal/layers"
 	"repro/internal/qpdo"
+	"repro/internal/stats"
 	"repro/internal/surface"
 )
 
@@ -56,12 +57,24 @@ const (
 	// protocol (Clifford circuits + Pauli noise); validated against
 	// EngineStack by differential and statistical tests.
 	EngineFrameSim
+	// EngineSparse drives the sparse gap-skipping variant of the frame
+	// engine (framesim.Sparse): identical protocol semantics, but only
+	// nonzero frame entries are touched and whole noiseless windows are
+	// skipped via the geometric gap sampler — the engine of choice below
+	// pseudo-threshold where almost every window is empty. Scripted runs
+	// are bit-identical to EngineFrameSim; sampled runs agree
+	// statistically (the sparse engine skips the unobservable
+	// reset-gauge RNG draws, so the streams differ).
+	EngineSparse
 )
 
 // String names the engine like the -engine flag values.
 func (e Engine) String() string {
-	if e == EngineFrameSim {
+	switch e {
+	case EngineFrameSim:
 		return "framesim"
+	case EngineSparse:
+		return "sparse"
 	}
 	return "stack"
 }
@@ -73,8 +86,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineStack, nil
 	case "framesim", "frame":
 		return EngineFrameSim, nil
+	case "sparse":
+		return EngineSparse, nil
 	}
-	return EngineStack, fmt.Errorf("unknown engine %q (want stack or framesim)", s)
+	return EngineStack, fmt.Errorf("unknown engine %q (want stack, framesim or sparse)", s)
 }
 
 // LERConfig parameterizes one logical-error-rate run.
@@ -263,8 +278,11 @@ func (p *stackPool) run(w int, cfg LERConfig) (LERResult, error) {
 // qubits carry no observable error — probe for a logical error.
 func RunLER(cfg LERConfig) (LERResult, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Engine == EngineFrameSim {
+	switch cfg.Engine {
+	case EngineFrameSim:
 		return runFrameLER(cfg)
+	case EngineSparse:
+		return runSparseLER(cfg)
 	}
 	s, err := buildStack(cfg)
 	if err != nil {
@@ -350,6 +368,13 @@ type PointResult struct {
 	// GatesSaved / SlotsSaved hold the per-run saving fractions.
 	GatesSaved []float64
 	SlotsSaved []float64
+	// TotalErrors / TotalWindows pool m and R (thesis Eq. 5.1) over the
+	// repetitions that actually ran — the binomial counts behind the
+	// Wilson error bars and the adaptive stopping rule. For adaptive
+	// sweeps len(LERs) < Samples and these pools are the authoritative
+	// statistics.
+	TotalErrors  int64
+	TotalWindows int64
 }
 
 // MeanLER returns the mean logical error rate of the point.
@@ -357,6 +382,24 @@ func (p PointResult) MeanLER() float64 { return mean(p.LERs) }
 
 // StdLER returns the sample standard deviation of the LERs.
 func (p PointResult) StdLER() float64 { return stddev(p.LERs) }
+
+// PooledLER returns the pooled estimate m/R over all repetitions.
+func (p PointResult) PooledLER() float64 {
+	if p.TotalWindows == 0 {
+		return math.NaN()
+	}
+	return float64(p.TotalErrors) / float64(p.TotalWindows)
+}
+
+// WilsonLER returns the 95% Wilson score interval on the pooled
+// logical-errors-per-window proportion.
+func (p PointResult) WilsonLER() (lo, hi float64) {
+	return stats.WilsonInterval(p.TotalErrors, p.TotalWindows, wilsonZ95)
+}
+
+// wilsonZ95 is the two-sided 95% normal quantile used for all sweep
+// error bars and the adaptive stopping rule.
+const wilsonZ95 = 1.959963984540054
 
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -392,6 +435,22 @@ type SweepConfig struct {
 	MaxLogicalErrors int
 	MaxWindows       int
 	BaseSeed         int64
+	// AdaptRelWidth, when > 0, enables adaptive per-point early
+	// stopping: a point stops sampling once the 95% Wilson interval on
+	// its pooled LER is narrower than AdaptRelWidth relative to the
+	// point estimate (half-width ≤ AdaptRelWidth · m/R), after at least
+	// AdaptMinSamples samples and at least one observed logical error.
+	// Stopping is batch-granular — the decision is re-evaluated only at
+	// multiples of AdaptBatch samples — which keeps the folded results
+	// bit-identical for any worker count.
+	AdaptRelWidth float64
+	// AdaptMinSamples is the minimum sample count before early stop is
+	// considered (default 64 when adaptive sampling is enabled).
+	AdaptMinSamples int
+	// AdaptBatch is the early-stop decision granularity in samples
+	// (default 256 when adaptive sampling is enabled; rounded up to
+	// whole 64-shot words for the frame engines).
+	AdaptBatch int
 	// Workers bounds the Monte-Carlo worker pool. Zero means
 	// runtime.GOMAXPROCS(0); the results are bit-identical for any
 	// value because every (point × sample) run derives its own RNG from
@@ -451,8 +510,10 @@ func WindowTimeSlots(d, tsESM int, corrections bool) int {
 	return ts
 }
 
-// FmtPoint renders one sweep point like the thesis data tables.
+// FmtPoint renders one sweep point like the thesis data tables, with a
+// 95% Wilson interval on the pooled LER as the error bar.
 func FmtPoint(p PointResult) string {
-	return fmt.Sprintf("PER=%.3e  LER=%.3e ±%.1e  (n=%d)",
-		p.PER, p.MeanLER(), p.StdLER(), len(p.LERs))
+	lo, hi := p.WilsonLER()
+	return fmt.Sprintf("PER=%.3e  LER=%.3e  [%.2e, %.2e]95%%  (n=%d)",
+		p.PER, p.MeanLER(), lo, hi, len(p.LERs))
 }

@@ -170,10 +170,10 @@ func RunLERSamples(cfg LERConfig, samples int) ([]LERResult, error) {
 			r   LERResult
 			err error
 		)
-		if c.Engine == EngineFrameSim {
-			r, err = RunLER(c)
-		} else {
+		if c.Engine == EngineStack {
 			r, err = pool.run(w, c)
+		} else {
+			r, err = RunLER(c)
 		}
 		if err != nil {
 			return err

@@ -35,13 +35,15 @@ type RunOptions struct {
 }
 
 // shardRunner computes shards: one reusable stack per worker for the
-// QPDO engine, one lazily compiled immutable framesim engine per point.
+// QPDO engine, one lazily compiled immutable frame engine (dense or
+// sparse) per point.
 type shardRunner struct {
 	spec Spec
 	pool *stackPool
 
 	once    []sync.Once
 	engines []*framesim.Engine
+	sparses []*framesim.Sparse
 	engErr  []error
 }
 
@@ -51,6 +53,7 @@ func newShardRunner(spec Spec, workers int) *shardRunner {
 		pool:    newStackPool(workers),
 		once:    make([]sync.Once, len(spec.PERs)),
 		engines: make([]*framesim.Engine, len(spec.PERs)),
+		sparses: make([]*framesim.Sparse, len(spec.PERs)),
 		engErr:  make([]error, len(spec.PERs)),
 	}
 }
@@ -82,9 +85,19 @@ func (r *shardRunner) engine(p int) (*framesim.Engine, error) {
 	return r.engines[p], r.engErr[p]
 }
 
+// sparse returns point p's compiled sparse frame engine, sharing the
+// per-point once with engine (a spec runs exactly one engine kind).
+func (r *shardRunner) sparse(p int) (*framesim.Sparse, error) {
+	r.once[p].Do(func() {
+		r.sparses[p], r.engErr[p] = sparseEngine(r.lerConfig(p, r.spec.BaseSeed).withDefaults())
+	})
+	return r.sparses[p], r.engErr[p]
+}
+
 // run computes shard sh on worker w.
 func (r *shardRunner) run(w int, sh Shard) ([]LERResult, error) {
-	if r.spec.Engine == EngineNameFrameSim {
+	switch r.spec.Engine {
+	case EngineNameFrameSim:
 		e, err := r.engine(sh.Point)
 		if err != nil {
 			return nil, err
@@ -93,17 +106,31 @@ func (r *shardRunner) run(w int, sh Shard) ([]LERResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]LERResult, len(rs))
-		for i, shot := range rs {
-			out[i] = frameToLER(shot)
+		return frameShotsToLER(rs), nil
+	case EngineNameSparse:
+		s, err := r.sparse(sh.Point)
+		if err != nil {
+			return nil, err
 		}
-		return out, nil
+		rs, err := s.RunBatch(sh.Seed, sh.Count)
+		if err != nil {
+			return nil, err
+		}
+		return frameShotsToLER(rs), nil
 	}
 	res, err := r.pool.run(w, r.lerConfig(sh.Point, sh.Seed))
 	if err != nil {
 		return nil, err
 	}
 	return []LERResult{res}, nil
+}
+
+func frameShotsToLER(rs []framesim.ShotResult) []LERResult {
+	out := make([]LERResult, len(rs))
+	for i, shot := range rs {
+		out[i] = frameToLER(shot)
+	}
+	return out
 }
 
 // RunSpec executes a sweep spec: every shard is looked up (opt.Lookup),
@@ -117,6 +144,9 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) ([]PointResult, err
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.AdaptRelWidth > 0 {
+		return runAdaptiveSpec(ctx, spec, opt)
 	}
 	n := spec.NumShards()
 	runs := make([][]LERResult, n)
@@ -173,30 +203,30 @@ func RunSpec(ctx context.Context, spec Spec, opt RunOptions) ([]PointResult, err
 }
 
 // FoldShards merges per-shard runs (indexed like Spec.Shard) into the
-// per-point aggregates. The fold is deterministic: runs are placed by
-// their (point, offset) coordinates, never by completion order.
+// per-point aggregates. The fold is deterministic: shards are visited in
+// ascending index order — which is (point, offset) order — never by
+// completion order. Nil entries (shards an adaptive sweep stopped before
+// computing) are skipped, so a partial fold simply yields fewer samples
+// per point; full folds are unchanged.
 func FoldShards(spec Spec, shardRuns [][]LERResult) []PointResult {
 	spec = spec.Normalized()
-	points, samples := len(spec.PERs), spec.Samples
-	perPoint := make([][]LERResult, points)
-	for i := range perPoint {
-		perPoint[i] = make([]LERResult, samples)
+	out := make([]PointResult, len(spec.PERs))
+	for i, per := range spec.PERs {
+		out[i].PER = per
 	}
 	for i, rs := range shardRuns {
-		sh := spec.Shard(i)
-		copy(perPoint[sh.Point][sh.Offset:], rs)
-	}
-
-	out := make([]PointResult, 0, points)
-	for i, per := range spec.PERs {
-		pt := PointResult{PER: per}
-		for _, r := range perPoint[i] {
+		if rs == nil {
+			continue
+		}
+		pt := &out[spec.Shard(i).Point]
+		for _, r := range rs {
 			pt.LERs = append(pt.LERs, r.LER)
 			pt.WindowCounts = append(pt.WindowCounts, float64(r.Windows))
 			pt.GatesSaved = append(pt.GatesSaved, r.GatesSavedFrac())
 			pt.SlotsSaved = append(pt.SlotsSaved, r.SlotsSavedFrac())
+			pt.TotalErrors += int64(r.LogicalErrors)
+			pt.TotalWindows += int64(r.Windows)
 		}
-		out = append(out, pt)
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -171,17 +172,17 @@ func TestRunSpecCancelAndResume(t *testing.T) {
 		t.Fatalf("persisted %d shards before cancel, want 2", persisted)
 	}
 
-	computed := 0
+	var computed atomic.Int64 // Persist is called concurrently at Workers > 1
 	got, err := RunSpec(context.Background(), spec, RunOptions{
 		Workers: 4,
 		Lookup:  store.lookup,
-		Persist: func(sh Shard, runs []LERResult) error { computed++; return store.persist(sh, runs) },
+		Persist: func(sh Shard, runs []LERResult) error { computed.Add(1); return store.persist(sh, runs) },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if computed != spec.NumShards()-2 {
-		t.Errorf("resume computed %d shards, want %d", computed, spec.NumShards()-2)
+	if int(computed.Load()) != spec.NumShards()-2 {
+		t.Errorf("resume computed %d shards, want %d", computed.Load(), spec.NumShards()-2)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("resumed fold diverged from uninterrupted run:\n%+v\n%+v", got, want)

@@ -15,6 +15,7 @@ import (
 const (
 	EngineNameStack    = "stack"
 	EngineNameFrameSim = "framesim"
+	EngineNameSparse   = "sparse"
 )
 
 // Spec is the serializable form of a SweepConfig: the pure inputs of a
@@ -37,6 +38,18 @@ type Spec struct {
 	MaxWindows       int `json:"max_windows"`
 	// BaseSeed drives all randomness via ShardSeed.
 	BaseSeed int64 `json:"base_seed"`
+	// AdaptRelWidth > 0 enables adaptive per-point early stopping at
+	// the given relative 95% Wilson half-width (see SweepConfig). The
+	// adaptive fields are part of the spec hash: an adaptive sweep is a
+	// different computation than a full sweep and never shares cache
+	// entries with one. They are omitted from the canonical JSON when
+	// adaptive sampling is off, so pre-existing non-adaptive spec
+	// hashes are unchanged.
+	AdaptRelWidth float64 `json:"adapt_rel_width,omitempty"`
+	// AdaptMinSamples is the minimum sample count before early stop.
+	AdaptMinSamples int `json:"adapt_min_samples,omitempty"`
+	// AdaptBatch is the stop-decision granularity in samples.
+	AdaptBatch int `json:"adapt_batch,omitempty"`
 }
 
 // SpecOf extracts the serializable part of a SweepConfig.
@@ -54,6 +67,9 @@ func SpecOf(cfg SweepConfig) Spec {
 		MaxLogicalErrors: cfg.MaxLogicalErrors,
 		MaxWindows:       cfg.MaxWindows,
 		BaseSeed:         cfg.BaseSeed,
+		AdaptRelWidth:    cfg.AdaptRelWidth,
+		AdaptMinSamples:  cfg.AdaptMinSamples,
+		AdaptBatch:       cfg.AdaptBatch,
 	}
 }
 
@@ -81,6 +97,9 @@ func (s Spec) SweepConfig() (SweepConfig, error) {
 		MaxLogicalErrors: s.MaxLogicalErrors,
 		MaxWindows:       s.MaxWindows,
 		BaseSeed:         s.BaseSeed,
+		AdaptRelWidth:    s.AdaptRelWidth,
+		AdaptMinSamples:  s.AdaptMinSamples,
+		AdaptBatch:       s.AdaptBatch,
 	}, nil
 }
 
@@ -104,6 +123,21 @@ func (s Spec) Normalized() Spec {
 	if s.MaxWindows <= 0 {
 		s.MaxWindows = 2_000_000
 	}
+	if s.AdaptRelWidth > 0 {
+		if s.AdaptMinSamples <= 0 {
+			s.AdaptMinSamples = 64
+		}
+		if s.AdaptBatch <= 0 {
+			s.AdaptBatch = 256
+		}
+	} else {
+		// Canonical off state: any non-positive (or NaN) width means
+		// "full sweep", and the companion fields must not perturb the
+		// spec hash.
+		s.AdaptRelWidth = 0
+		s.AdaptMinSamples = 0
+		s.AdaptBatch = 0
+	}
 	return s
 }
 
@@ -111,9 +145,10 @@ func (s Spec) Normalized() Spec {
 // reproducibly). It expects a Normalized spec.
 func (s Spec) Validate() error {
 	switch s.Engine {
-	case EngineNameStack, EngineNameFrameSim:
+	case EngineNameStack, EngineNameFrameSim, EngineNameSparse:
 	default:
-		return fmt.Errorf("spec: unknown engine %q (want %s or %s)", s.Engine, EngineNameStack, EngineNameFrameSim)
+		return fmt.Errorf("spec: unknown engine %q (want %s, %s or %s)",
+			s.Engine, EngineNameStack, EngineNameFrameSim, EngineNameSparse)
 	}
 	switch s.ErrorType {
 	case "x", "z":
@@ -127,6 +162,13 @@ func (s Spec) Validate() error {
 		if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 || p > 1 {
 			return fmt.Errorf("spec: PER point %d is %v, want 0 < p <= 1", i, p)
 		}
+	}
+	if math.IsNaN(s.AdaptRelWidth) || math.IsInf(s.AdaptRelWidth, 0) || s.AdaptRelWidth < 0 {
+		return fmt.Errorf("spec: adapt_rel_width is %v, want a finite value >= 0", s.AdaptRelWidth)
+	}
+	if s.AdaptMinSamples < 0 || s.AdaptBatch < 0 {
+		return fmt.Errorf("spec: negative adaptive sampling fields (min_samples=%d, batch=%d)",
+			s.AdaptMinSamples, s.AdaptBatch)
 	}
 	return nil
 }
@@ -152,10 +194,16 @@ type Shard struct {
 // shardsPerPoint returns the number of shards each PER point splits
 // into. It expects a Normalized spec.
 func (s Spec) shardsPerPoint() int {
-	if s.Engine == EngineNameFrameSim {
+	if s.batchEngine() {
 		return (s.Samples + 63) / 64
 	}
 	return s.Samples
+}
+
+// batchEngine reports whether the engine produces 64-shot batch words
+// (the dense and sparse frame engines) rather than single runs.
+func (s Spec) batchEngine() bool {
+	return s.Engine == EngineNameFrameSim || s.Engine == EngineNameSparse
 }
 
 // NumShards returns the total shard count of the sweep.
@@ -172,7 +220,7 @@ func (s Spec) Shard(i int) Shard {
 	spp := s.shardsPerPoint()
 	p, u := i/spp, i%spp
 	sh := Shard{Index: i, Point: p, Offset: u, Count: 1, Seed: ShardSeed(s.BaseSeed, p, u)}
-	if s.Engine == EngineNameFrameSim {
+	if s.batchEngine() {
 		sh.Offset = u * 64
 		sh.Count = s.Samples - sh.Offset
 		if sh.Count > 64 {
@@ -217,7 +265,7 @@ func (s Spec) ShardConfig(sh Shard) ShardConfig {
 		Seed:             sh.Seed,
 		Shots:            sh.Count,
 	}
-	if s.Engine == EngineNameFrameSim {
+	if s.batchEngine() {
 		sc.RefSeed = s.BaseSeed
 	}
 	return sc

@@ -78,6 +78,11 @@ type Config struct {
 	// is required to be deterministic (New errors out otherwise), so the
 	// results do not depend on this value.
 	RefSeed int64
+	// DenseThreshold is the dirty-qubit population at which the sparse
+	// engine (NewSparse) abandons event-driven propagation for the rest
+	// of the current tape and drains it with the dense word kernels
+	// (default 8). The dense engine ignores it.
+	DenseThreshold int
 }
 
 func (c Config) withDefaults() Config {

@@ -59,6 +59,31 @@ func (s *sampler) advanceWord() {
 	}
 }
 
+// siteOfNextHit returns how many whole 64-trial sites lie before the
+// next hit: the hit lands inside site ordinal siteOfNextHit() counted
+// from the current stream position. Between sites the stream position is
+// always on a word boundary, so this is an exact floor division.
+//
+//qa:hotpath
+func (s *sampler) siteOfNextHit() int64 {
+	if s.p <= 0 {
+		return disabledNext
+	}
+	return s.next >> 6
+}
+
+// skipSites advances the trial stream past k whole sites (64·k trials)
+// without visiting them. Legal only when no hit lands inside the skipped
+// span (the caller checks siteOfNextHit); the sampler state afterwards is
+// bit-identical to executing k empty word loops.
+//
+//qa:hotpath
+func (s *sampler) skipSites(k int) {
+	if s.p > 0 {
+		s.next -= 64 * int64(k)
+	}
+}
+
 // pairTable lists the 15 equally likely correlated two-qubit error pairs
 // in the order of layers.twoQubitErrorTable: ({I,X,Y,Z}² minus II),
 // first operand outermost.

@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion: `successes` hits out of `trials` Bernoulli trials
+// at normal quantile z (z = 1.96 for 95%). Unlike the Wald
+// (normal-approximation) interval it never collapses to zero width at
+// p̂ ∈ {0, 1} and keeps honest coverage in the rare-event regime the
+// low-PER sweeps live in, which is what makes it usable as an early-stop
+// criterion: the interval is well-defined from the very first batch.
+//
+// The endpoints are clamped to [0, 1]; with 0 successes lo is exactly 0
+// and with successes == trials hi is exactly 1. Degenerate inputs
+// (trials <= 0, successes outside [0, trials], z <= 0 or non-finite)
+// return (NaN, NaN).
+func WilsonInterval(successes, trials int64, z float64) (lo, hi float64) {
+	if trials <= 0 || successes < 0 || successes > trials ||
+		z <= 0 || math.IsInf(z, 0) || math.IsNaN(z) {
+		return math.NaN(), math.NaN()
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	hw := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-hw, center+hw
+	if successes == 0 || lo < 0 {
+		lo = 0
+	}
+	if successes == trials || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// WilsonHalfWidth returns half the width of the Wilson interval — the
+// "± error bar" analogue used by the sweep tables and the adaptive
+// stopping rule. NaN for degenerate inputs.
+func WilsonHalfWidth(successes, trials int64, z float64) float64 {
+	lo, hi := WilsonInterval(successes, trials, z)
+	return (hi - lo) / 2
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	const z95 = 1.959963984540054
+	for _, tc := range []struct {
+		name      string
+		successes int64
+		trials    int64
+		z         float64
+		lo, hi    float64
+		tol       float64
+	}{
+		// Reference value: 5/10 at 95% → [0.2366, 0.7634]
+		// (standard worked example for the Wilson score interval).
+		{"half", 5, 10, z95, 0.236592, 0.763408, 1e-5},
+		// 0 hits: lo must be exactly 0, hi = z²/(n+z²).
+		{"zero-hits", 0, 20, z95, 0, z95 * z95 / (20 + z95*z95), 1e-12},
+		// All hits: mirror image of zero-hits.
+		{"all-hits", 20, 20, z95, 20 / (20 + z95*z95), 1, 1e-12},
+		// n=1 single failure: interval still spans most of [0,1].
+		{"n1-miss", 0, 1, z95, 0, z95 * z95 / (1 + z95*z95), 1e-12},
+		{"n1-hit", 1, 1, z95, 1 / (1 + z95*z95), 1, 1e-12},
+		// Rare event at scale: 3/100000 stays near p̂ and strictly > 0.
+		{"rare", 3, 100000, z95, 1.020276e-5, 8.820805e-5, 5e-11},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi := WilsonInterval(tc.successes, tc.trials, tc.z)
+			if !approx(lo, tc.lo, tc.tol) || !approx(hi, tc.hi, tc.tol) {
+				t.Errorf("WilsonInterval(%d, %d, %v) = [%.6g, %.6g], want [%.6g, %.6g]",
+					tc.successes, tc.trials, tc.z, lo, hi, tc.lo, tc.hi)
+			}
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Errorf("interval [%v, %v] not a valid sub-interval of [0,1]", lo, hi)
+			}
+			p := float64(tc.successes) / float64(tc.trials)
+			if p < lo-1e-12 || p > hi+1e-12 {
+				t.Errorf("point estimate %v outside interval [%v, %v]", p, lo, hi)
+			}
+			if hw := WilsonHalfWidth(tc.successes, tc.trials, tc.z); !approx(hw, (hi-lo)/2, 1e-15) {
+				t.Errorf("WilsonHalfWidth = %v, want %v", hw, (hi-lo)/2)
+			}
+		})
+	}
+}
+
+func TestWilsonIntervalDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		successes int64
+		trials    int64
+		z         float64
+	}{
+		{"zero-trials", 0, 0, 1.96},
+		{"negative-trials", 1, -5, 1.96},
+		{"negative-successes", -1, 10, 1.96},
+		{"overflow-successes", 11, 10, 1.96},
+		{"zero-z", 5, 10, 0},
+		{"negative-z", 5, 10, -1},
+		{"nan-z", 5, 10, math.NaN()},
+		{"inf-z", 5, 10, math.Inf(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi := WilsonInterval(tc.successes, tc.trials, tc.z)
+			if !math.IsNaN(lo) || !math.IsNaN(hi) {
+				t.Errorf("WilsonInterval(%d, %d, %v) = [%v, %v], want NaN pair",
+					tc.successes, tc.trials, tc.z, lo, hi)
+			}
+		})
+	}
+}
+
+// TestWilsonShrinks checks monotone narrowing: multiplying both counts by
+// k > 1 must strictly shrink the interval.
+func TestWilsonShrinks(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int64{10, 100, 1000, 10000} {
+		hw := WilsonHalfWidth(n/10, n, 1.96)
+		if hw >= prev {
+			t.Errorf("half-width did not shrink at n=%d: %v >= %v", n, hw, prev)
+		}
+		prev = hw
+	}
+}

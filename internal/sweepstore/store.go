@@ -40,7 +40,13 @@ import (
 // clients with a different version: any change to simulation semantics,
 // RNG draw order, or the spec/shard encodings must bump it, so a stale
 // cache can never be served as current results.
-const Version = "pf-sweep-v1"
+//
+// v2: the sparse engine joined the engine vocabulary and Spec gained the
+// adaptive-sampling fields (adapt_rel_width / adapt_min_samples /
+// adapt_batch). The fields are omitempty, so a non-adaptive spec's JSON
+// is byte-identical to v1 — the version bump is what guarantees pre-PR-7
+// caches are never served as current results.
+const Version = "pf-sweep-v2"
 
 // keyOf content-addresses one value: SHA-256 over the version, a kind
 // tag, and the canonical JSON encoding. Go's encoding/json is canonical

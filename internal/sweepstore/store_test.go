@@ -363,3 +363,65 @@ func TestRunCachedFrameSim(t *testing.T) {
 		t.Error("framesim sweep with different BaseSeed hit the old cache")
 	}
 }
+
+// TestAdaptiveSpecNeverCollidesWithV1 is the PR-7 cache-migration
+// contract. The adaptive-sampling fields are omitempty, so a
+// non-adaptive spec's canonical JSON is byte-identical to what a
+// pre-PR-7 binary hashed — only the Version bump separates the caches.
+// This test pins all three layers: (1) an adaptive spec hashes away from
+// its non-adaptive twin, (2) the v2 key of a non-adaptive spec differs
+// from the key a v1-versioned scheme would have produced, and (3) Open
+// refuses a store directory stamped with the v1 version outright.
+func TestAdaptiveSpecNeverCollidesWithV1(t *testing.T) {
+	if Version == "pf-sweep-v1" {
+		t.Fatal("Version was not bumped for the adaptive-sampling spec extension")
+	}
+	plain := testSpec()
+	adaptive := plain
+	adaptive.AdaptRelWidth = 0.1
+	kPlain, err := SpecKey(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kAdaptive, err := SpecKey(adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kAdaptive == kPlain {
+		t.Error("adaptive spec shares a key with its non-adaptive twin")
+	}
+	// Normalized defaults (min samples, batch) must be part of the hash:
+	// changing the stop granularity changes which shards run.
+	batched := adaptive
+	batched.AdaptBatch = 512
+	kBatched, err := SpecKey(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kBatched == kAdaptive {
+		t.Error("changing adapt_batch did not change the spec key")
+	}
+	// A disabled-but-dirty adaptive block normalizes to the plain spec:
+	// same computation, same key.
+	off := plain
+	off.AdaptRelWidth = 0
+	off.AdaptMinSamples = 99
+	off.AdaptBatch = 7
+	kOff, err := SpecKey(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kOff != kPlain {
+		t.Error("disabled adaptive fields leaked into the spec key")
+	}
+
+	// (3) A pre-PR-7 store directory is refused at Open time, so a v1
+	// cache can never serve a v2 spec even if a key collided.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("pf-sweep-v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a pf-sweep-v1 store")
+	}
+}
