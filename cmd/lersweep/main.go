@@ -36,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs); results are identical for any value")
 	csvPath := flag.String("csv", "", "also write CSV to this file (suffix _pf/_nopf added in both mode)")
 	engineName := flag.String("engine", "stack", "simulation engine: stack (QPDO oracle), framesim (bit-sliced 64-shot Pauli-frame engine) or sparse (gap-skipping frame engine, fastest at low PER)")
+	lanes := flag.Int("lanes", 1, "frame-engine batch width in 64-shot words (1, 2, 4 or 8; 64*lanes shots per pass); folded results are identical at every width")
 	stopRel := flag.Float64("stoprel", 0, "adaptive early stop: target relative 95% Wilson half-width on each point's LER (0 = run all samples)")
 	stopMin := flag.Int("stopmin", 0, "adaptive early stop: minimum samples per point before stopping (0 = default 64)")
 	stopBatch := flag.Int("stopbatch", 0, "adaptive early stop: decision granularity in samples (0 = default 256)")
@@ -73,6 +74,10 @@ func main() {
 		fail("-maxwindows must be >= 1, got %d", *maxWindows)
 	case *workers < 0:
 		fail("-workers must be >= 0, got %d", *workers)
+	case *lanes != 1 && *lanes != 2 && *lanes != 4 && *lanes != 8:
+		fail("-lanes must be 1, 2, 4 or 8, got %d", *lanes)
+	case *lanes > 1 && engine == experiments.EngineStack:
+		fail("-lanes needs a frame engine (-engine framesim or sparse)")
 	case math.IsNaN(*stopRel) || math.IsInf(*stopRel, 0) || *stopRel < 0:
 		fail("-stoprel must be a finite value >= 0, got %v", *stopRel)
 	case *stopMin < 0:
@@ -136,6 +141,7 @@ func main() {
 		MaxLogicalErrors: *errors,
 		MaxWindows:       *maxWindows,
 		BaseSeed:         *seed,
+		Lanes:            *lanes,
 		AdaptRelWidth:    *stopRel,
 		AdaptMinSamples:  *stopMin,
 		AdaptBatch:       *stopBatch,

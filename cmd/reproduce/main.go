@@ -42,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 2017, "base seed")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size and state-vector kernel goroutines (0 = all CPUs); results are identical for any value")
 	engineName := flag.String("engine", "stack", "LER-study engine: stack (QPDO oracle), framesim (bit-sliced, ~80x faster) or sparse (gap-skipping, fastest at low PER)")
+	lanes := flag.Int("lanes", 1, "frame-engine batch width in 64-shot words (1, 2, 4 or 8); identical results at every width")
 	flag.Parse()
 	sc, ok := scales[*scaleName]
 	if !ok {
@@ -51,6 +52,14 @@ func main() {
 	engine, err := experiments.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
+	if *lanes != 1 && *lanes != 2 && *lanes != 4 && *lanes != 8 {
+		fmt.Fprintf(os.Stderr, "reproduce: -lanes must be 1, 2, 4 or 8, got %d\n", *lanes)
+		os.Exit(2)
+	}
+	if *lanes > 1 && engine == experiments.EngineStack {
+		fmt.Fprintln(os.Stderr, "reproduce: -lanes needs a frame engine (-engine framesim or sparse)")
 		os.Exit(2)
 	}
 
@@ -120,6 +129,7 @@ func main() {
 		MaxLogicalErrors: sc.errors,
 		MaxWindows:       sc.maxWindows,
 		BaseSeed:         *seed,
+		Lanes:            *lanes,
 		Workers:          *workers,
 		Progress: func(i int, per float64) {
 			fmt.Fprintf(os.Stderr, "  LER point %d/%d (PER=%.2e)\n", i+1, sc.points, per)

@@ -28,10 +28,11 @@ func runAdaptiveSpec(ctx context.Context, spec Spec, opt RunOptions) ([]PointRes
 	runner := newShardRunner(spec, workers)
 
 	// The stop rule is sample-granular in the spec but shard-granular in
-	// execution: frame-engine shards carry up to 64 samples each.
+	// execution: frame-engine shards carry up to 64·Lanes samples each.
 	batchShards := spec.AdaptBatch
 	if spec.batchEngine() {
-		batchShards = (spec.AdaptBatch + 63) / 64
+		span := 64 * spec.lanes()
+		batchShards = (spec.AdaptBatch + span - 1) / span
 	}
 	if batchShards < 1 {
 		batchShards = 1

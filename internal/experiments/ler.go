@@ -116,6 +116,12 @@ type LERConfig struct {
 	Model *layers.Model
 	// Seed drives all randomness of the run.
 	Seed int64
+	// Lanes is the frame engines' batch width in 64-shot words for sweep
+	// execution (0 or 1 = single words; 2, 4, 8 = wide kernels). RunLER
+	// itself always runs one trajectory, so the field only shapes how the
+	// sweep pipeline groups this configuration's shots — never their
+	// values, because lane extraction is bit-identical.
+	Lanes int
 	// Workers bounds the pool of sample-parallel drivers built on this
 	// config (RunLERSamples); RunLER itself is a single sequential
 	// trajectory. Zero means runtime.GOMAXPROCS(0).
@@ -435,6 +441,11 @@ type SweepConfig struct {
 	MaxLogicalErrors int
 	MaxWindows       int
 	BaseSeed         int64
+	// Lanes widens frame-engine shards to Lanes 64-shot words (see
+	// Spec.Lanes): 0 or 1 keeps single words, 2/4/8 run the wide kernels.
+	// Folded results are bit-identical at every width; only throughput
+	// and shard granularity change. Invalid for the stack engine.
+	Lanes int
 	// AdaptRelWidth, when > 0, enables adaptive per-point early
 	// stopping: a point stops sampling once the 95% Wilson interval on
 	// its pooled LER is narrower than AdaptRelWidth relative to the

@@ -102,7 +102,11 @@ func (r *shardRunner) run(w int, sh Shard) ([]LERResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := e.RunBatch(sh.Seed, sh.Count)
+		// One wide pass over the shard's words (RunBatch is the
+		// single-word special case of the same call): word k is seeded by
+		// its global word index, so results are bit-identical to running
+		// each word alone at Lanes = 1.
+		rs, err := e.RunBatchWide(r.spec.WordSeeds(sh), sh.Count)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +116,7 @@ func (r *shardRunner) run(w int, sh Shard) ([]LERResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := s.RunBatch(sh.Seed, sh.Count)
+		rs, err := s.RunBatchWide(r.spec.WordSeeds(sh), sh.Count)
 		if err != nil {
 			return nil, err
 		}

@@ -38,6 +38,14 @@ type Spec struct {
 	MaxWindows       int `json:"max_windows"`
 	// BaseSeed drives all randomness via ShardSeed.
 	BaseSeed int64 `json:"base_seed"`
+	// Lanes widens the frame engines' shards to Lanes 64-shot words
+	// (64·Lanes shots propagate per pass through the wide kernels).
+	// 0 or 1 is the canonical single-word layout; 2, 4 and 8 are the
+	// supported wide widths. Word w of a point carries the same
+	// ShardSeed-derived RNG at every width and lane extraction is
+	// bit-identical, so Lanes changes shard granularity, never the folded
+	// results. Invalid for the stack engine, which has no lanes.
+	Lanes int `json:"lanes,omitempty"`
 	// AdaptRelWidth > 0 enables adaptive per-point early stopping at
 	// the given relative 95% Wilson half-width (see SweepConfig). The
 	// adaptive fields are part of the spec hash: an adaptive sweep is a
@@ -67,6 +75,7 @@ func SpecOf(cfg SweepConfig) Spec {
 		MaxLogicalErrors: cfg.MaxLogicalErrors,
 		MaxWindows:       cfg.MaxWindows,
 		BaseSeed:         cfg.BaseSeed,
+		Lanes:            cfg.Lanes,
 		AdaptRelWidth:    cfg.AdaptRelWidth,
 		AdaptMinSamples:  cfg.AdaptMinSamples,
 		AdaptBatch:       cfg.AdaptBatch,
@@ -97,6 +106,7 @@ func (s Spec) SweepConfig() (SweepConfig, error) {
 		MaxLogicalErrors: s.MaxLogicalErrors,
 		MaxWindows:       s.MaxWindows,
 		BaseSeed:         s.BaseSeed,
+		Lanes:            s.Lanes,
 		AdaptRelWidth:    s.AdaptRelWidth,
 		AdaptMinSamples:  s.AdaptMinSamples,
 		AdaptBatch:       s.AdaptBatch,
@@ -122,6 +132,12 @@ func (s Spec) Normalized() Spec {
 	}
 	if s.MaxWindows <= 0 {
 		s.MaxWindows = 2_000_000
+	}
+	if s.Lanes == 1 {
+		// One lane word is the canonical zero state: a width-1 spec is
+		// the same computation whether the width was defaulted or spelled
+		// out, and must hash identically.
+		s.Lanes = 0
 	}
 	if s.AdaptRelWidth > 0 {
 		if s.AdaptMinSamples <= 0 {
@@ -163,6 +179,14 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("spec: PER point %d is %v, want 0 < p <= 1", i, p)
 		}
 	}
+	switch s.Lanes {
+	case 0, 2, 4, 8:
+	default:
+		return fmt.Errorf("spec: lane width %d not supported (want 1, 2, 4 or 8)", s.Lanes)
+	}
+	if s.Lanes > 0 && !s.batchEngine() {
+		return fmt.Errorf("spec: lanes apply to the frame engines only, not %q", s.Engine)
+	}
 	if math.IsNaN(s.AdaptRelWidth) || math.IsInf(s.AdaptRelWidth, 0) || s.AdaptRelWidth < 0 {
 		return fmt.Errorf("spec: adapt_rel_width is %v, want a finite value >= 0", s.AdaptRelWidth)
 	}
@@ -174,9 +198,9 @@ func (s Spec) Validate() error {
 }
 
 // Shard addresses one independent work unit of a sweep. Stack-engine
-// shards are single (point × sample) runs; framesim shards are 64-shot
-// batch words. Shards are a pure function of the spec: Shard(i) is the
-// same struct in every process.
+// shards are single (point × sample) runs; framesim shards are wide
+// batches of Lanes 64-shot words. Shards are a pure function of the
+// spec: Shard(i) is the same struct in every process.
 type Shard struct {
 	// Index is the shard's position in 0..NumShards-1.
 	Index int
@@ -185,9 +209,11 @@ type Shard struct {
 	// Offset is the first sample index the shard produces.
 	Offset int
 	// Count is the number of runs the shard produces (1 for the stack
-	// engine, up to 64 for a framesim batch word).
+	// engine, up to 64·Lanes for a wide frame batch).
 	Count int
-	// Seed is ShardSeed(BaseSeed, Point, unit): the shard's RNG seed.
+	// Seed is the shard's RNG seed: ShardSeed(BaseSeed, Point, unit) for
+	// the stack engine, the first word's seed for a frame batch (the
+	// remaining word seeds are enumerated by WordSeeds).
 	Seed int64
 }
 
@@ -195,9 +221,19 @@ type Shard struct {
 // into. It expects a Normalized spec.
 func (s Spec) shardsPerPoint() int {
 	if s.batchEngine() {
-		return (s.Samples + 63) / 64
+		span := 64 * s.lanes()
+		return (s.Samples + span - 1) / span
 	}
 	return s.Samples
+}
+
+// lanes returns the effective lane width in 64-shot words (>= 1). It
+// expects a Normalized spec.
+func (s Spec) lanes() int {
+	if s.Lanes > 1 {
+		return s.Lanes
+	}
+	return 1
 }
 
 // batchEngine reports whether the engine produces 64-shot batch words
@@ -221,13 +257,38 @@ func (s Spec) Shard(i int) Shard {
 	p, u := i/spp, i%spp
 	sh := Shard{Index: i, Point: p, Offset: u, Count: 1, Seed: ShardSeed(s.BaseSeed, p, u)}
 	if s.batchEngine() {
-		sh.Offset = u * 64
+		l := s.lanes()
+		sh.Offset = u * 64 * l
 		sh.Count = s.Samples - sh.Offset
-		if sh.Count > 64 {
-			sh.Count = 64
+		if sh.Count > 64*l {
+			sh.Count = 64 * l
 		}
+		// Seed words by global word index, so word w of a point carries
+		// the same RNG at every lane width (and exactly the width-1 seed
+		// enumeration when l == 1).
+		sh.Seed = ShardSeed(s.BaseSeed, p, u*l)
 	}
 	return sh
+}
+
+// WordSeeds returns the per-word RNG seeds of shard sh: one ShardSeed
+// per 64-shot word, indexed by the word's global position within the
+// point (Offset/64 + k). The enumeration is lane-width-independent —
+// word w of a point draws the same seed at every Lanes setting — which,
+// combined with the engines' bit-identical lane extraction, makes folded
+// sweep results identical across widths. For the stack engine the
+// shard's single seed is returned.
+func (s Spec) WordSeeds(sh Shard) []int64 {
+	s = s.Normalized()
+	if !s.batchEngine() {
+		return []int64{sh.Seed}
+	}
+	seeds := make([]int64, (sh.Count+63)/64)
+	w0 := sh.Offset / 64
+	for k := range seeds {
+		seeds[k] = ShardSeed(s.BaseSeed, sh.Point, w0+k)
+	}
+	return seeds
 }
 
 // ShardConfig is the complete engine-level description of one shard's
@@ -250,6 +311,11 @@ type ShardConfig struct {
 	// BaseSeed); zero for the stack engine, whose runs depend on Seed
 	// alone.
 	RefSeed int64 `json:"ref_seed"`
+	// Seeds lists the per-word RNG seeds of a multi-word (Lanes > 1)
+	// frame shard; Seeds[0] == Seed. Omitted for single-word shards, so
+	// a 64-shot shard's canonical encoding — and cache key — does not
+	// depend on the lane width of the sweep that produced it.
+	Seeds []int64 `json:"seeds,omitempty"`
 }
 
 // ShardConfig returns the content-address description of shard sh.
@@ -267,6 +333,9 @@ func (s Spec) ShardConfig(sh Shard) ShardConfig {
 	}
 	if s.batchEngine() {
 		sc.RefSeed = s.BaseSeed
+		if seeds := s.WordSeeds(sh); len(seeds) > 1 {
+			sc.Seeds = seeds
+		}
 	}
 	return sc
 }

@@ -134,10 +134,10 @@ func runStackScripted(t *testing.T, obs framesim.Observable, rule decoder.Rule, 
 // noisy ESM executions: each site independently carries an error with the
 // given density. Measurement sites get X flips (the PMeas channel);
 // everything else draws uniform non-identity (pairs of) Paulis.
-func randomScript(rng *rand.Rand, e *framesim.Engine, rounds int, density float64) framesim.Script {
+func randomScript(rng *rand.Rand, sites []framesim.Site, rounds int, density float64) framesim.Script {
 	paulis := []framesim.PauliErr{framesim.ErrX, framesim.ErrY, framesim.ErrZ}
 	script := framesim.Script{}
-	for _, site := range e.ESMSites() {
+	for _, site := range sites {
 		for r := 0; r < rounds; r++ {
 			if rng.Float64() >= density {
 				continue
@@ -196,7 +196,7 @@ func TestDifferentialScripted(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			script := randomScript(rand.New(rand.NewSource(tc.seed)), eng, 2*windows, tc.density)
+			script := randomScript(rand.New(rand.NewSource(tc.seed)), eng.ESMSites(), 2*windows, tc.density)
 			frameTr, frameRes, err := eng.RunScripted(windows, script)
 			if err != nil {
 				t.Fatal(err)

@@ -1,5 +1,5 @@
-// Package framesim implements the bit-sliced 64-shot Pauli-frame
-// Monte-Carlo engine for the LER windows protocol (thesis Listing 5.7).
+// Package framesim implements the bit-sliced Pauli-frame Monte-Carlo
+// engine for the LER windows protocol (thesis Listing 5.7).
 //
 // The QPDO stack (ninja star → counters → [pauli frame] → error layer →
 // CHP tableau) simulates one noisy trajectory at a time; every shot pays
@@ -10,30 +10,44 @@
 // is just an X/Z frame bit-pair per qubit, and 64 shots pack into one
 // uint64 word per plane — the conjugation rules of thesis Tables 3.2–3.5
 // become word ops (exactly core.BitFrame, sliced across shots instead of
-// qubits).
+// qubits). A batch may carry W ∈ {1..8} such words per plane (64·W shots
+// per propagate pass); every 64-shot word is an independent run with its
+// own seed, RNG and channel samplers, so lane word k of a W-wide run is
+// bit-identical to a width-1 run from the same seed, and wide batches
+// shard across cores word-by-word without any cross-word coupling.
 //
 // Exactness rests on the protocol's structure: after the noiseless
 // initialization the state is the unique all-(+1)-stabilizer logical
 // state, so every window-phase measurement (ESM ancillas, diagnostics,
 // probe) is deterministic on the reference, and a shot's outcome is the
 // reference value XOR the frame's X bit. Reset gauge randomization (a
-// fresh random Z frame bit after Prep/Measure) keeps the frame
-// distribution faithful for general circuits; for this protocol the
-// randomized component is always a stabilizer of the evolving reference
-// and never flips a measured value, which is why the syndrome stream is a
-// bit-exact function of the injected error pattern — the property the
-// differential test checks against the QPDO stack.
+// fresh random Z frame bit after Prep/Measure) would keep the frame
+// distribution faithful for arbitrary circuits; for this protocol the
+// randomized component is always a Z on a fresh eigenstate — a
+// stabilizer of the evolving reference — and provably never flips a
+// measured value, so the engine omits it (the sparse engine pioneered
+// the omission; it is what keeps clean frames zero there). The syndrome
+// stream is therefore a bit-exact function of the injected error
+// pattern — the property the differential test checks against the QPDO
+// stack.
 //
 // The decoder windows run word-parallel too: syndrome bit-planes per
 // hardware ancilla group, the three-round agreement/intersection rules as
 // boolean word ops, and a scalar LUT lookup only for the (rare) shots
-// whose decoded syndrome is nonzero.
+// whose decoded syndrome is nonzero. The noiseless diagnostic round and
+// probe are not even executed as tapes: at compile time the engine
+// derives each noiseless outcome as an F₂ linear functional of the
+// current frame planes (and symbolically verifies the substitution is
+// sound — see buildShortcut), so a window's clean-check and probe cost a
+// handful of XORs per lane word instead of two full tape walks.
 package framesim
 
 import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/chp"
 	"repro/internal/circuit"
@@ -43,6 +57,12 @@ import (
 	"repro/internal/qpdo"
 	"repro/internal/surface"
 )
+
+// MaxLanes is the widest supported batch: 8 words = 512 shots per
+// propagate pass. Wider batches stop paying for themselves — the
+// per-shot RNG and decode work is already width-independent, and the
+// amortizable tape-walk overhead is down to 1/8th.
+const MaxLanes = 8
 
 // Observable selects the monitored logical error, mirroring the
 // experiment harness: logical X errors are detected on |0⟩_L with the
@@ -141,9 +161,10 @@ type WindowTrace struct {
 // private runState, so one Engine may serve many goroutines concurrently.
 type Engine struct {
 	cfg Config
-	n   int
+	tapeExec
 
 	esm, probe       *Tape
+	esmFused         *fusedProg
 	refESM, refProbe []uint64
 
 	// groupOfSite/bitOfSite map ESM measurement sites to hardware ancilla
@@ -160,9 +181,56 @@ type Engine struct {
 	// accounting (48 and 8 for a full SC17 round).
 	esmOps, esmSlots int
 
-	// Cached channel constants.
+	// Noiseless-round shortcut (newShortcut).
+	sc shortcut
+}
+
+// tapeExec is the executor core shared by the protocol front-ends (the
+// SC17 Engine and the Steane engine): the physical qubit count plus the
+// cached channel constants every tape walk and hit sampler needs. It
+// carries no mutable run state — that lives in runState — so front-ends
+// embedding it stay safe for concurrent runs.
+type tapeExec struct {
+	n int
+	chanParams
+}
+
+// chanParams caches one error model's channel constants; the tape
+// executor shares them between the SC17 and Steane front-ends. uX/uXY
+// are the conditional Pauli-kind thresholds (PX/P, (PX+PY)/P) scaled to
+// the full uint64 range, so a hit's kind is one integer compare against
+// a raw RNG word instead of a float multiply chain.
+type chanParams struct {
 	p, px, pxy, pMeas float64
+	uX, uXY           uint64
 	corrPair          bool
+}
+
+func newChanParams(m layers.Model) chanParams {
+	c := chanParams{
+		p:        m.TotalSingle(),
+		px:       m.PX,
+		pxy:      m.PX + m.PY,
+		pMeas:    m.PMeas,
+		corrPair: m.CorrelatedTwoQubit,
+	}
+	if c.p > 0 {
+		c.uX = uFrac(c.px / c.p)
+		c.uXY = uFrac(c.pxy / c.p)
+	}
+	return c
+}
+
+// uFrac maps a fraction in [0, 1] to the uint64 threshold with
+// P(Uint64() < uFrac(f)) = f up to 2⁻⁶⁴ quantization.
+func uFrac(f float64) uint64 {
+	if f >= 1 {
+		return ^uint64(0)
+	}
+	if f <= 0 {
+		return 0
+	}
+	return uint64(f * 18446744073709551616.0) // f·2⁶⁴, exact to float64 precision
 }
 
 // New compiles the windows protocol for one configuration: it builds a
@@ -221,7 +289,7 @@ func New(cfg Config) (*Engine, error) {
 
 	e := &Engine{
 		cfg:          cfg,
-		n:            n,
+		tapeExec:     tapeExec{n: n, chanParams: newChanParams(cfg.Model)},
 		esm:          esm,
 		probe:        probe,
 		lutA:         decoder.BuildLUT(surface.XSupports(surface.RotNormal), surface.NumData),
@@ -230,11 +298,6 @@ func New(cfg Config) (*Engine, error) {
 		intersection: cfg.DecoderRule == decoder.RuleIntersection,
 		esmOps:       esmC.NumOps(),
 		esmSlots:     esmC.NumSlots(),
-		p:            cfg.Model.TotalSingle(),
-		px:           cfg.Model.PX,
-		pxy:          cfg.Model.PX + cfg.Model.PY,
-		pMeas:        cfg.Model.PMeas,
-		corrPair:     cfg.Model.CorrelatedTwoQubit,
 	}
 
 	e.groupOfSite = make([]uint8, esm.NumMeas())
@@ -294,7 +357,188 @@ func New(cfg Config) (*Engine, error) {
 	if !equalWords(e.refESM, again) {
 		return nil, fmt.Errorf("framesim: probe disturbs the ESM reference outcomes")
 	}
+	e.sc = newShortcut(esm, probe, n, e.refProbe)
+	e.esmFused = fuseTape(esm, e.corrPair)
 	return e, nil
+}
+
+// fusedProg is a tape specialized for the sampled hot path: within each
+// time slot the error sites are regrouped into one run per channel
+// (pre-measurement X flips, single-qubit channel, correlated pairs), so
+// the geometric gap samplers advance over a whole run's trial words with
+// one comparison instead of one per site. The regrouping is exact
+// because a slot's operations act on disjoint qubits (Compile validates
+// this): hoisting a site across another operation's gate commutes, which
+// is the same argument Compile already uses to interleave sites with
+// gates. Under the uncorrelated two-qubit model, pair sites expand into
+// two single-channel sites in operand order, exactly like the per-site
+// executor. Scripted runs keep the original tape — site identity, not
+// throughput, matters there.
+type fusedProg struct {
+	ops          []tapeOp
+	singleQ      []int32
+	measQ        []int32
+	pairA, pairB []int32
+}
+
+// fuseTape builds the fused program for one tape (see fusedProg).
+func fuseTape(t *Tape, corrPair bool) *fusedProg {
+	fp := &fusedProg{}
+	i := 0
+	for i < len(t.ops) {
+		slot := t.ops[i].slot
+		j := i
+		for j < len(t.ops) && t.ops[j].slot == slot {
+			j++
+		}
+		measStart := int32(len(fp.measQ))
+		singleStart := int32(len(fp.singleQ))
+		pairStart := int32(len(fp.pairA))
+		var gateOps []tapeOp
+		for _, op := range t.ops[i:j] {
+			switch op.code {
+			case opErrMeas:
+				fp.measQ = append(fp.measQ, op.a)
+			case opErrSingle:
+				fp.singleQ = append(fp.singleQ, op.a)
+			case opErrPair:
+				if corrPair {
+					fp.pairA = append(fp.pairA, op.a)
+					fp.pairB = append(fp.pairB, op.b)
+				} else {
+					fp.singleQ = append(fp.singleQ, op.a, op.b)
+				}
+			default:
+				gateOps = append(gateOps, op)
+			}
+		}
+		// Pre-measurement flips precede the slot, channel sites follow it.
+		if n := int32(len(fp.measQ)) - measStart; n > 0 {
+			fp.ops = append(fp.ops, tapeOp{code: opRunMeas, slot: slot, a: measStart, b: n})
+		}
+		fp.ops = append(fp.ops, gateOps...)
+		if n := int32(len(fp.singleQ)) - singleStart; n > 0 {
+			fp.ops = append(fp.ops, tapeOp{code: opRunSingle, slot: slot, a: singleStart, b: n})
+		}
+		if n := int32(len(fp.pairA)) - pairStart; n > 0 {
+			fp.ops = append(fp.ops, tapeOp{code: opRunPair, slot: slot, a: pairStart, b: n})
+		}
+		i = j
+	}
+	return fp
+}
+
+// symbolicPass runs one tape noiselessly on a width-1 batch whose lane j
+// carries the j-th F₂ basis vector of one plane family (fx when zBasis
+// is false, fz when true). Because noiseless frame propagation is linear
+// over F₂, the returned outcome words are the dependence masks of each
+// measurement site on the pre-tape planes, and the final planes are the
+// rows of the tape's linear map (postX[q] = which basis lanes feed
+// fx'[q], postZ[q] likewise for fz'[q]). Error sites are skipped — they
+// inject nothing in a noiseless run.
+func symbolicPass(t *Tape, n int, zBasis bool) (out, postX, postZ []uint64) {
+	b := NewBatch(n)
+	for q := 0; q < n; q++ {
+		if zBasis {
+			b.fz[q] = uint64(1) << uint(q)
+		} else {
+			b.fx[q] = uint64(1) << uint(q)
+		}
+	}
+	out = make([]uint64, t.NumMeas())
+	for i := range t.ops {
+		op := &t.ops[i]
+		a := int(op.a)
+		switch op.code {
+		case opH:
+			b.H(a)
+		case opS, opSdg:
+			b.S(a)
+		case opCNOT:
+			b.CNOT(a, int(op.b))
+		case opCZ:
+			b.CZ(a, int(op.b))
+		case opSWAP:
+			b.SWAP(a, int(op.b))
+		case opPrep:
+			b.fx[a], b.fz[a] = 0, 0
+		case opMeas:
+			out[op.b] = b.fx[a]
+		}
+	}
+	return out, b.fx, b.fz
+}
+
+// shortcut holds the noiseless-round linear functionals derived by
+// newShortcut: when ok, the diagnostic round's outcome at site i is the
+// ESM reference at i XOR the fx planes in diagX[i] XOR the fz planes in
+// diagZ[i] (masks index qubits), and the probe outcome is probeRef XOR
+// the probeX/probeZ planes — no tape execution needed.
+type shortcut struct {
+	ok           bool
+	diagX, diagZ []uint64
+	probeX       uint64
+	probeZ       uint64
+	probeRef     uint64
+}
+
+// newShortcut derives the diagnostic/probe linear functionals and
+// verifies, symbolically, that substituting them for the two noiseless
+// tape executions of each window is exact. Skipping the tapes leaves the
+// planes of every tape-modified qubit stale (the true run would re-prep
+// and re-evolve them), so the substitution is sound iff nothing
+// downstream ever reads a stale plane. Let S be the set of qubits whose
+// plane rows are not the identity under either noiseless tape (for the
+// ESM/probe circuits these are exactly the ancillas — prep wipes them,
+// data rows commute through). The checks:
+//
+//   - no diagnostic outcome mask and no probe outcome mask may read a
+//     qubit in S (those outcomes must be functions of data planes only,
+//     which stay exact), and
+//   - every qubit outside S has an identity row (true by construction of
+//     S), so the *real* noisy tape runs, corrections and injected errors
+//     keep non-S planes exact: deviations supported on S propagate only
+//     within S and never reach an outcome.
+//
+// Corrections and error injections are XORs, which preserve the
+// "stale difference is supported on S" invariant. If any check fails
+// (or n > 64, the mask width) the returned shortcut is not ok and the
+// engine falls back to executing the noiseless tapes.
+func newShortcut(esm, probe *Tape, n int, refProbe []uint64) shortcut {
+	if n > 64 {
+		return shortcut{}
+	}
+	outEX, postEXX, postEZX := symbolicPass(esm, n, false)
+	outEZ, postEXZ, postEZZ := symbolicPass(esm, n, true)
+	outPX, postPXX, postPZX := symbolicPass(probe, n, false)
+	outPZ, postPXZ, postPZZ := symbolicPass(probe, n, true)
+	var stale uint64
+	for q := 0; q < n; q++ {
+		id := uint64(1) << uint(q)
+		if postEXX[q] != id || postEZZ[q] != id || postEZX[q] != 0 || postEXZ[q] != 0 {
+			stale |= id
+		}
+		if postPXX[q] != id || postPZZ[q] != id || postPZX[q] != 0 || postPXZ[q] != 0 {
+			stale |= id
+		}
+	}
+	for i := range outEX {
+		if (outEX[i]|outEZ[i])&stale != 0 {
+			return shortcut{}
+		}
+	}
+	last := probe.NumMeas() - 1
+	if (outPX[last]|outPZ[last])&stale != 0 {
+		return shortcut{}
+	}
+	return shortcut{
+		ok:       true,
+		diagX:    outEX,
+		diagZ:    outEZ,
+		probeX:   outPX[last],
+		probeZ:   outPZ[last],
+		probeRef: refProbe[last],
+	}
 }
 
 // ESMSites lists the error-injection sites of one ESM round (Round 0 in
@@ -358,41 +602,91 @@ func equalWords(a, b []uint64) bool {
 	return true
 }
 
-// runState is the mutable per-run state: frame planes, RNG, channel
-// samplers and scratch buffers. All scratch is allocated once per run;
-// the window loop itself is allocation-free.
-type runState struct {
-	b   *Batch
-	rng *rand.Rand
-
+// laneRun is the independent sampling state of one 64-shot word: its own
+// RNG and channel samplers. Word independence is what makes lane
+// extraction exact (word k of a W-wide run replays a width-1 run from
+// the same seed bit-for-bit) and wide worker sharding trivially
+// deterministic.
+type laneRun struct {
+	rng                *rand.Rand
 	single, meas, pair sampler
+}
+
+// runState is the mutable per-run state: frame planes, per-word RNGs and
+// channel samplers, and scratch buffers. All scratch is allocated once
+// per run; the window loop itself is allocation-free. Outcome scratch
+// (r1/r2/diag/probeOut) is strided like the batch planes: site i, word k
+// at index i·w+k. active and expected hold one mask word per lane word;
+// inj counts injected errors per global shot lane (64·w entries).
+type runState struct {
+	b *Batch
+	w int
+
+	lanes []laneRun
 
 	r1, r2, diag, probeOut []uint64
+	carryA, carryB         [][4]uint64
+	expected               []uint64
 
 	script Script
 	round  int
-	active uint64
-	inj    [64]int
+	active []uint64
+	inj    []int
 }
 
-func (e *Engine) newRunState(seed int64, script Script) *runState {
+func (e *Engine) newRunState(seeds []int64, script Script) *runState {
+	return newRunState(&e.tapeExec, e.esm.NumMeas(), e.probe.NumMeas(), seeds, script)
+}
+
+// newRunState allocates the mutable state of one run: a W-wide batch on
+// x.n qubits, one laneRun per word (RNG first, then — in sampled mode —
+// the single/meas/pair samplers in that fixed draw order), and outcome
+// scratch sized for esmMeas/probeMeas measurement sites per round.
+func newRunState(x *tapeExec, esmMeas, probeMeas int, seeds []int64, script Script) *runState {
+	w := len(seeds)
 	st := &runState{
-		b:        NewBatch(e.n),
-		rng:      rand.New(rand.NewSource(seed)),
+		b:        NewBatchWide(x.n, w),
+		w:        w,
+		lanes:    make([]laneRun, w),
 		script:   script,
-		r1:       make([]uint64, e.esm.NumMeas()),
-		r2:       make([]uint64, e.esm.NumMeas()),
-		diag:     make([]uint64, e.esm.NumMeas()),
-		probeOut: make([]uint64, e.probe.NumMeas()),
+		r1:       make([]uint64, esmMeas*w),
+		r2:       make([]uint64, esmMeas*w),
+		diag:     make([]uint64, esmMeas*w),
+		probeOut: make([]uint64, probeMeas*w),
+		carryA:   make([][4]uint64, w),
+		carryB:   make([][4]uint64, w),
+		expected: make([]uint64, w),
+		active:   make([]uint64, w),
+		inj:      make([]int, 64*w),
 	}
-	if script == nil {
-		st.single = newSampler(e.p, st.rng)
-		st.meas = newSampler(e.pMeas, st.rng)
-		if e.corrPair {
-			st.pair = newSampler(e.p, st.rng)
+	for k, seed := range seeds {
+		l := &st.lanes[k]
+		l.rng = rand.New(rand.NewSource(seed))
+		if script == nil {
+			l.single = newSampler(x.p, l.rng)
+			l.meas = newSampler(x.pMeas, l.rng)
+			if x.corrPair {
+				l.pair = newSampler(x.p, l.rng)
+			}
 		}
 	}
 	return st
+}
+
+// checkWide validates a wide batch request: 1..MaxLanes seed words, and
+// a shot count that fills every word (the last one possibly partially).
+func checkWide(seeds []int64, shots int) error {
+	w := len(seeds)
+	if w < 1 || w > MaxLanes {
+		return fmt.Errorf("framesim: %d lane words outside 1..%d", w, MaxLanes)
+	}
+	if shots < 1 || shots > 64*w {
+		return fmt.Errorf("framesim: batch width %d outside 1..%d", shots, 64*w)
+	}
+	if shots <= 64*(w-1) {
+		return fmt.Errorf("framesim: %d shots leave lane word %d empty (pass %d words)", shots, w-1, (shots+63)/64)
+	}
+	return nil
 }
 
 // RunBatch runs up to 64 Monte-Carlo shots in one word, all seeded from
@@ -401,18 +695,73 @@ func (e *Engine) newRunState(seed int64, script Script) *runState {
 // propagating (their planes are dead weight in the words) but stop
 // accumulating statistics. Safe for concurrent use on one Engine.
 func (e *Engine) RunBatch(seed int64, shots int) ([]ShotResult, error) {
-	if shots < 1 || shots > 64 {
-		return nil, fmt.Errorf("framesim: batch width %d outside 1..64", shots)
+	var seeds [1]int64
+	seeds[0] = seed
+	return e.RunBatchWide(seeds[:], shots)
+}
+
+// RunBatchWide runs up to 64·len(seeds) Monte-Carlo shots in one W-wide
+// batch; word k carries shots 64k..64k+63 and is an independent run
+// seeded by seeds[k], so the result slice is bit-identical to
+// concatenating len(seeds) width-1 RunBatch calls — one wide pass just
+// amortizes the tape walk over all words. shots must fill every word
+// (the last may be partial). Safe for concurrent use on one Engine.
+func (e *Engine) RunBatchWide(seeds []int64, shots int) ([]ShotResult, error) {
+	if err := checkWide(seeds, shots); err != nil {
+		return nil, err
 	}
-	st := e.newRunState(seed, nil)
-	var res [64]ShotResult
-	e.runWindows(st, &res, shots, 0, nil)
-	return append([]ShotResult(nil), res[:shots]...), nil
+	st := e.newRunState(seeds, nil)
+	res := make([]ShotResult, 64*len(seeds))
+	e.runWindows(st, res, shots, 0, nil)
+	return res[:shots], nil
+}
+
+// RunBatchWideWorkers is RunBatchWide with the lane words sharded across
+// up to `workers` goroutines in fixed contiguous blocks. Because every
+// word is an independent run, the folded result is bit-identical for any
+// worker count — including RunBatchWide itself (workers = 1).
+func (e *Engine) RunBatchWideWorkers(seeds []int64, shots, workers int) ([]ShotResult, error) {
+	if err := checkWide(seeds, shots); err != nil {
+		return nil, err
+	}
+	w := len(seeds)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > w {
+		workers = w
+	}
+	if workers == 1 {
+		return e.RunBatchWide(seeds, shots)
+	}
+	res := make([]ShotResult, shots)
+	block := (w + workers - 1) / workers
+	var wg sync.WaitGroup
+	for c0 := 0; c0 < w; c0 += block {
+		c1 := c0 + block
+		if c1 > w {
+			c1 = w
+		}
+		chunkShots := shots - c0*64
+		if chunkShots > (c1-c0)*64 {
+			chunkShots = (c1 - c0) * 64
+		}
+		wg.Add(1)
+		go func(c0, c1, chunkShots int) {
+			defer wg.Done()
+			st := e.newRunState(seeds[c0:c1], nil)
+			sub := make([]ShotResult, 64*(c1-c0))
+			e.runWindows(st, sub, chunkShots, 0, nil)
+			copy(res[c0*64:c0*64+chunkShots], sub[:chunkShots])
+		}(c0, c1, chunkShots)
+	}
+	wg.Wait()
+	return res, nil
 }
 
 // RunScripted runs exactly `windows` QEC windows of a single shot with
-// the Script's errors injected instead of sampled noise (and without
-// reset gauge randomization), recording a WindowTrace per window. Caps
+// the Script's errors injected instead of sampled noise, recording a
+// WindowTrace per window. Caps
 // are ignored; the shot never terminates early. The differential test
 // feeds the same Script to an InjectLayer-instrumented QPDO stack and
 // requires bit-identical traces.
@@ -423,132 +772,201 @@ func (e *Engine) RunScripted(windows int, script Script) ([]WindowTrace, ShotRes
 	if script == nil {
 		script = Script{}
 	}
-	st := e.newRunState(0, script)
-	var res [64]ShotResult
+	var seeds [1]int64
+	st := e.newRunState(seeds[:], script)
+	res := make([]ShotResult, 64)
 	traces := make([]WindowTrace, 0, windows)
-	e.runWindows(st, &res, 1, windows, &traces)
+	e.runWindows(st, res, 1, windows, &traces)
 	return traces, res[0], nil
 }
 
 // runWindows drives the window loop. In sampled mode (st.script == nil)
 // it runs until every lane of the first `shots` terminates; in scripted
-// mode it runs exactly scriptWindows windows on lane 0.
-func (e *Engine) runWindows(st *runState, res *[64]ShotResult, shots, scriptWindows int, traces *[]WindowTrace) {
-	active := ^uint64(0)
-	if shots < 64 {
-		active = uint64(1)<<uint(shots) - 1
+// mode it runs exactly scriptWindows windows on lane 0. res must hold
+// 64·w entries; shot 64k+j of lane word k lands in res[64k+j].
+//
+// A lane word whose 64 shots have all terminated goes *dead*: its noise
+// sampling, gauge draws, decode and probe bookkeeping are skipped for
+// the remaining windows (only the shared gate kernels still touch its
+// plane words, writing values nothing reads). Word independence makes
+// the skip exact — a dead word's statistics are already final, and no
+// live word ever observes its RNG stream.
+func (e *Engine) runWindows(st *runState, res []ShotResult, shots, scriptWindows int, traces *[]WindowTrace) {
+	W := st.w
+	for k := 0; k < W; k++ {
+		lanes := shots - 64*k
+		if lanes >= 64 {
+			st.active[k] = ^uint64(0)
+		} else if lanes > 0 {
+			st.active[k] = uint64(1)<<uint(lanes) - 1
+		}
 	}
-	var carryA, carryB, decA, decB [4]uint64
-	var a1, b1, a2, b2 [4]uint64
 	var corrMask [64]uint16
-	var expected uint64
+	var tr WindowTrace
 	w := 0
 	for {
 		if st.script == nil {
-			if active == 0 || w >= e.cfg.MaxWindows {
+			live := uint64(0)
+			for k := 0; k < W; k++ {
+				live |= st.active[k]
+			}
+			if live == 0 || w >= e.cfg.MaxWindows {
 				break
 			}
 		} else if w >= scriptWindows {
 			break
 		}
 		w++
-		st.active = active
 
-		// Two noisy ESM rounds.
-		e.runTape(st, e.esm, e.refESM, true, st.r1)
-		st.round++
-		e.runTape(st, e.esm, e.refESM, true, st.r2)
-		st.round++
-		gather(e, st.r1, &a1, &b1)
-		gather(e, st.r2, &a2, &b2)
+		// Two noisy ESM rounds: the fused program in sampled mode, the
+		// site-exact tape for scripted injection.
+		if st.script == nil {
+			e.runFused(st, e.esmFused, e.refESM, st.r1)
+			st.round++
+			e.runFused(st, e.esmFused, e.refESM, st.r2)
+			st.round++
+		} else {
+			e.runTape(st, e.esm, e.refESM, true, st.r1)
+			st.round++
+			e.runTape(st, e.esm, e.refESM, true, st.r2)
+			st.round++
+		}
 
-		// Word-parallel windowed decode per hardware group, then scalar
-		// LUT lookups only for lanes with a nonzero decoded syndrome.
-		nzA := e.decodeGroup(&a1, &a2, &carryA, &decA)
-		nzB := e.decodeGroup(&b1, &b2, &carryB, &decB)
-		var trA, trB uint16
-		for m := nzA; m != 0; m &= m - 1 {
-			j := bits.TrailingZeros64(m)
-			cm := uint16(e.lutA.CorrectionMask(synAt(&decA, j)))
-			corrMask[j] |= cm
-			if j == 0 {
-				trA = cm
+		// Word-parallel windowed decode per lane word and hardware group,
+		// then scalar LUT lookups only for lanes with a nonzero decoded
+		// syndrome.
+		for k := 0; k < W; k++ {
+			if st.script == nil && st.active[k] == 0 {
+				continue
 			}
-			applyCorr(st.b, cm, uint64(1)<<uint(j), e.gateAIsZ)
-		}
-		for m := nzB; m != 0; m &= m - 1 {
-			j := bits.TrailingZeros64(m)
-			cm := uint16(e.lutB.CorrectionMask(synAt(&decB, j)))
-			corrMask[j] |= cm
-			if j == 0 {
-				trB = cm
-			}
-			applyCorr(st.b, cm, uint64(1)<<uint(j), !e.gateAIsZ)
-		}
-		var hasCorr uint64
-		for m := nzA | nzB; m != 0; m &= m - 1 {
-			j := bits.TrailingZeros64(m)
-			if cm := corrMask[j]; cm != 0 {
-				hasCorr |= uint64(1) << uint(j)
-				if active>>uint(j)&1 == 1 {
-					res[j].CorrectionGates += bits.OnesCount16(cm)
-					res[j].CorrectionSlots++
+			var a1, b1, a2, b2, decA, decB [4]uint64
+			gather(e, st.r1, k, W, &a1, &b1)
+			gather(e, st.r2, k, W, &a2, &b2)
+			nzA := e.decodeGroup(&a1, &a2, &st.carryA[k], &decA)
+			nzB := e.decodeGroup(&b1, &b2, &st.carryB[k], &decB)
+			var trA, trB uint16
+			for m := nzA; m != 0; m &= m - 1 {
+				j := bits.TrailingZeros64(m)
+				cm := uint16(e.lutA.CorrectionMask(synAt(&decA, j)))
+				corrMask[j] |= cm
+				if j == 0 {
+					trA = cm
 				}
-				corrMask[j] = 0
+				applyCorr(st.b, cm, k, uint64(1)<<uint(j), e.gateAIsZ)
 			}
-		}
-		// Without a Pauli frame the correction slot executes physically
-		// and is itself noisy: one single-qubit channel site per qubit
-		// (correction operands and idles alike), applied only to the
-		// lanes that issued a correction. With a frame, the slot is
-		// absorbed and injects nothing. Scripted runs inject nothing here
-		// either — the QPDO-side InjectLayer skips 1-slot circuits.
-		if hasCorr != 0 && st.script == nil && !e.cfg.WithPauliFrame {
-			e.sampleCorrectionSlot(st, hasCorr)
+			for m := nzB; m != 0; m &= m - 1 {
+				j := bits.TrailingZeros64(m)
+				cm := uint16(e.lutB.CorrectionMask(synAt(&decB, j)))
+				corrMask[j] |= cm
+				if j == 0 {
+					trB = cm
+				}
+				applyCorr(st.b, cm, k, uint64(1)<<uint(j), !e.gateAIsZ)
+			}
+			var hasCorr uint64
+			for m := nzA | nzB; m != 0; m &= m - 1 {
+				j := bits.TrailingZeros64(m)
+				if cm := corrMask[j]; cm != 0 {
+					hasCorr |= uint64(1) << uint(j)
+					if st.active[k]>>uint(j)&1 == 1 {
+						res[k*64+j].CorrectionGates += bits.OnesCount16(cm)
+						res[k*64+j].CorrectionSlots++
+					}
+					corrMask[j] = 0
+				}
+			}
+			// Without a Pauli frame the correction slot executes physically
+			// and is itself noisy: one single-qubit channel site per qubit
+			// (correction operands and idles alike), applied only to the
+			// lanes that issued a correction. With a frame, the slot is
+			// absorbed and injects nothing. Scripted runs inject nothing
+			// here either — the QPDO-side InjectLayer skips 1-slot circuits.
+			if hasCorr != 0 && st.script == nil && !e.cfg.WithPauliFrame {
+				e.sampleCorrectionSlot(st, k, hasCorr)
+			}
+			if k == 0 && traces != nil {
+				tr = WindowTrace{
+					R1A: synAt(&a1, 0), R1B: synAt(&b1, 0),
+					R2A: synAt(&a2, 0), R2B: synAt(&b2, 0),
+					CorrA: trA, CorrB: trB,
+					Probe: -1,
+				}
+			}
 		}
 
 		// Noiseless diagnostic round; only all-clean lanes are probed.
-		e.runTape(st, e.esm, e.refESM, false, st.diag)
-		clean := ^uint64(0)
-		for _, v := range st.diag {
-			clean &^= v
+		// With the compile-time shortcut the outcomes are evaluated as
+		// linear functionals of the frame planes; the fallback executes
+		// the tapes.
+		nm := e.esm.NumMeas()
+		probeBase := (e.probe.NumMeas() - 1) * W
+		if !e.sc.ok {
+			e.runTape(st, e.esm, e.refESM, false, st.diag)
+			e.runTape(st, e.probe, e.refProbe, false, st.probeOut)
 		}
-		e.runTape(st, e.probe, e.refProbe, false, st.probeOut)
-		out := st.probeOut[len(st.probeOut)-1]
-		flips := (out ^ expected) & clean
-		expected ^= flips
-		for m := flips & active; m != 0; m &= m - 1 {
-			j := bits.TrailingZeros64(m)
-			res[j].LogicalErrors++
-			if st.script == nil && res[j].LogicalErrors >= e.cfg.MaxLogicalErrors {
-				active &^= uint64(1) << uint(j)
-				res[j].Windows = w
+		for k := 0; k < W; k++ {
+			if st.script == nil && st.active[k] == 0 {
+				continue
+			}
+			clean := ^uint64(0)
+			var out uint64
+			if e.sc.ok {
+				for i := 0; i < nm; i++ {
+					v := e.refESM[i]
+					for m := e.sc.diagX[i]; m != 0; m &= m - 1 {
+						v ^= st.b.fx[bits.TrailingZeros64(m)*W+k]
+					}
+					for m := e.sc.diagZ[i]; m != 0; m &= m - 1 {
+						v ^= st.b.fz[bits.TrailingZeros64(m)*W+k]
+					}
+					st.diag[i*W+k] = v
+					clean &^= v
+				}
+				out = e.sc.probeRef
+				for m := e.sc.probeX; m != 0; m &= m - 1 {
+					out ^= st.b.fx[bits.TrailingZeros64(m)*W+k]
+				}
+				for m := e.sc.probeZ; m != 0; m &= m - 1 {
+					out ^= st.b.fz[bits.TrailingZeros64(m)*W+k]
+				}
+			} else {
+				for i := 0; i < nm; i++ {
+					clean &^= st.diag[i*W+k]
+				}
+				out = st.probeOut[probeBase+k]
+			}
+			flips := (out ^ st.expected[k]) & clean
+			st.expected[k] ^= flips
+			for m := flips & st.active[k]; m != 0; m &= m - 1 {
+				j := bits.TrailingZeros64(m)
+				r := &res[k*64+j]
+				r.LogicalErrors++
+				if st.script == nil && r.LogicalErrors >= e.cfg.MaxLogicalErrors {
+					st.active[k] &^= uint64(1) << uint(j)
+					r.Windows = w
+				}
+			}
+			if k == 0 && traces != nil {
+				var da, db [4]uint64
+				gather(e, st.diag, 0, W, &da, &db)
+				tr.DiagA, tr.DiagB = synAt(&da, 0), synAt(&db, 0)
+				tr.Clean = clean&1 == 1
+				if tr.Clean {
+					tr.Probe = int(out & 1)
+				}
 			}
 		}
-
 		if traces != nil {
-			var da, db [4]uint64
-			gather(e, st.diag, &da, &db)
-			tr := WindowTrace{
-				R1A: synAt(&a1, 0), R1B: synAt(&b1, 0),
-				R2A: synAt(&a2, 0), R2B: synAt(&b2, 0),
-				CorrA: trA, CorrB: trB,
-				DiagA: synAt(&da, 0), DiagB: synAt(&db, 0),
-				Clean: clean&1 == 1,
-				Probe: -1,
-			}
-			if tr.Clean {
-				tr.Probe = int(out & 1)
-			}
 			*traces = append(*traces, tr)
 		}
 	}
-	for j := 0; j < shots; j++ {
-		r := &res[j]
-		if active>>uint(j)&1 == 1 {
+	for idx := 0; idx < shots; idx++ {
+		k, j := idx/64, idx%64
+		r := &res[idx]
+		if st.active[k]>>uint(j)&1 == 1 {
 			r.Windows = w
 		}
-		r.InjectedErrors = st.inj[j]
+		r.InjectedErrors = st.inj[idx]
 		r.OpsIssued = r.Windows*2*e.esmOps + r.CorrectionGates
 		r.SlotsIssued = r.Windows*2*e.esmSlots + r.CorrectionSlots
 		r.OpsExecuted = r.OpsIssued
@@ -560,16 +978,18 @@ func (e *Engine) runWindows(st *runState, res *[64]ShotResult, shots, scriptWind
 	}
 }
 
-// runTape propagates all 64 frames through one tape. inject enables the
-// error sites (scripted or sampled); with inject false the tape runs
-// noiselessly and without gauge randomization (the diagnostic/probe
-// bypass semantics). out receives one outcome word per measurement site:
-// reference XOR the frame's X plane.
+// runTape propagates all lane words' frames through one tape. inject
+// enables the error sites for scripted injection; with inject false (or
+// no script) the sites are inert and the tape runs noiselessly (the
+// diagnostic/probe fallback semantics). Sampled noise never goes through
+// runTape — the fused program (runFused) owns that path. out receives
+// one outcome word per measurement site and lane word (site i, word k at
+// i·w+k): reference XOR the frame's X plane.
 //
 //qa:hotpath
-func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out []uint64) {
+func (x *tapeExec) runTape(st *runState, t *Tape, ref []uint64, inject bool, out []uint64) {
 	b := st.b
-	noisy := inject && st.script == nil
+	w := st.w
 	for i := range t.ops {
 		op := &t.ops[i]
 		a := int(op.a)
@@ -587,181 +1007,272 @@ func (e *Engine) runTape(st *runState, t *Tape, ref []uint64, inject bool, out [
 		case opX, opY, opZ:
 			// Applied in both reference and shots: frame unchanged.
 		case opPrep:
-			b.fx[a] = 0
-			if noisy {
-				// Reset gauge randomization: the post-reset state is a Z
-				// eigenstate, so a Z frame component is unobservable —
-				// randomizing it keeps the frame distribution faithful.
-				b.fz[a] = st.rng.Uint64()
-			} else {
-				b.fz[a] = 0
+			// No reset gauge randomization: the post-reset/post-measure
+			// state is a Z eigenstate, so a random Z frame component
+			// would be a stabilizer of the evolving reference and can
+			// never flip an outcome — omitting the draw is exact.
+			o := a * w
+			for k := 0; k < w; k++ {
+				b.fx[o+k] = 0
+				b.fz[o+k] = 0
 			}
 		case opMeas:
-			out[op.b] = b.fx[a] ^ ref[op.b]
-			if noisy {
-				b.fz[a] = st.rng.Uint64()
+			o := a * w
+			oo := int(op.b) * w
+			rv := ref[op.b]
+			for k := 0; k < w; k++ {
+				out[oo+k] = b.fx[o+k] ^ rv
 			}
 		case opErrMeas:
-			if !inject {
+			if !inject || st.script == nil {
 				continue
 			}
-			if st.script != nil {
-				// Cold path: scripted runs are single-shot diagnostics.
-				//qa:allow hotpath
-				if pp, ok := st.script[Site{st.round, int(op.slot), KindMeas, a, -1}]; ok {
-					e.applyScripted(st, a, pp[0])
-				}
-				continue
+			// Cold path: scripted runs are single-shot diagnostics.
+			//qa:allow hotpath
+			if pp, ok := st.script[Site{st.round, int(op.slot), KindMeas, a, -1}]; ok {
+				x.applyScripted(st, a, pp[0])
 			}
-			s := &st.meas
-			for s.next < 64 {
-				j := uint(s.next)
-				bit := uint64(1) << j
-				b.fx[a] ^= bit
-				if st.active&bit != 0 {
-					st.inj[j]++
-				}
-				s.next += s.gap(st.rng)
-			}
-			s.advanceWord()
 		case opErrSingle:
-			if !inject {
+			if !inject || st.script == nil {
 				continue
 			}
-			if st.script != nil {
-				// Cold path: scripted runs are single-shot diagnostics.
-				//qa:allow hotpath
-				if pp, ok := st.script[Site{st.round, int(op.slot), KindSingle, a, -1}]; ok {
-					e.applyScripted(st, a, pp[0])
-				}
-				continue
+			// Cold path: scripted runs are single-shot diagnostics.
+			//qa:allow hotpath
+			if pp, ok := st.script[Site{st.round, int(op.slot), KindSingle, a, -1}]; ok {
+				x.applyScripted(st, a, pp[0])
 			}
-			s := &st.single
-			for s.next < 64 {
-				e.applySingleHit(st, a, uint(s.next))
-				s.next += s.gap(st.rng)
-			}
-			s.advanceWord()
 		case opErrPair:
-			if !inject {
+			if !inject || st.script == nil {
 				continue
 			}
-			qb := int(op.b)
-			if st.script != nil {
-				// Cold path: scripted runs are single-shot diagnostics.
-				//qa:allow hotpath
-				if pp, ok := st.script[Site{st.round, int(op.slot), KindPair, a, qb}]; ok {
-					e.applyScripted(st, a, pp[0])
-					e.applyScripted(st, qb, pp[1])
-				}
-				continue
-			}
-			if e.corrPair {
-				s := &st.pair
-				for s.next < 64 {
-					e.applyPairHit(st, a, qb, uint(s.next))
-					s.next += s.gap(st.rng)
-				}
-				s.advanceWord()
-			} else {
-				// Uncorrelated model: each operand takes the single
-				// channel independently, in operand order.
-				s := &st.single
-				for s.next < 64 {
-					e.applySingleHit(st, a, uint(s.next))
-					s.next += s.gap(st.rng)
-				}
-				s.advanceWord()
-				for s.next < 64 {
-					e.applySingleHit(st, qb, uint(s.next))
-					s.next += s.gap(st.rng)
-				}
-				s.advanceWord()
+			// Cold path: scripted runs are single-shot diagnostics.
+			//qa:allow hotpath
+			if pp, ok := st.script[Site{st.round, int(op.slot), KindPair, a, int(op.b)}]; ok {
+				x.applyScripted(st, a, pp[0])
+				x.applyScripted(st, int(op.b), pp[1])
 			}
 		}
 	}
 }
 
-// applySingleHit applies one single-qubit channel hit on lane j: the
-// conditional Pauli kind given a hit (PX/P, PY/P, PZ/P).
+// runFused propagates all lane words' frames through one noisy round of
+// the fused program fp (with reference outcomes ref): gates, preps and
+// measurements execute exactly like runTape; the regrouped error runs
+// advance each word's geometric gap samplers over a whole run's trial
+// words at once. Dead lane words skip all sampling.
 //
 //qa:hotpath
-func (e *Engine) applySingleHit(st *runState, q int, j uint) {
-	bit := uint64(1) << j
-	v := st.rng.Float64() * e.p
-	switch {
-	case v < e.px:
-		st.b.fx[q] ^= bit
-	case v < e.pxy:
-		st.b.fx[q] ^= bit
-		st.b.fz[q] ^= bit
-	default:
-		st.b.fz[q] ^= bit
-	}
-	if st.active&bit != 0 {
-		st.inj[j]++
+func (x *tapeExec) runFused(st *runState, fp *fusedProg, ref []uint64, out []uint64) {
+	b := st.b
+	w := st.w
+	for i := range fp.ops {
+		op := &fp.ops[i]
+		a := int(op.a)
+		switch op.code {
+		case opH:
+			b.H(a)
+		case opS, opSdg:
+			b.S(a)
+		case opCNOT:
+			b.CNOT(a, int(op.b))
+		case opCZ:
+			b.CZ(a, int(op.b))
+		case opSWAP:
+			b.SWAP(a, int(op.b))
+		case opX, opY, opZ:
+			// Applied in both reference and shots: frame unchanged.
+		case opPrep:
+			o := a * w
+			for k := 0; k < w; k++ {
+				b.fx[o+k] = 0
+				b.fz[o+k] = 0
+			}
+		case opMeas:
+			o := a * w
+			oo := int(op.b) * w
+			rv := ref[op.b]
+			for k := 0; k < w; k++ {
+				out[oo+k] = b.fx[o+k] ^ rv
+			}
+		case opRunSingle:
+			x.runSites(st, fp.singleQ[op.a:op.a+op.b], false)
+		case opRunMeas:
+			x.runSites(st, fp.measQ[op.a:op.a+op.b], true)
+		case opRunPair:
+			x.runPairs(st, fp.pairA[op.a:op.a+op.b], fp.pairB[op.a:op.a+op.b])
+		}
 	}
 }
 
-// applyPairHit applies one correlated two-qubit hit on lane j: one of the
-// 15 non-trivial pairs, uniformly.
+// runSites walks one fused run of single-channel (or pre-measurement
+// X-flip) sites for every live lane word: the word's gap sampler jumps
+// from hit to hit across the whole run, paying one comparison per hit
+// plus one per run instead of one per site.
 //
 //qa:hotpath
-func (e *Engine) applyPairHit(st *runState, qa, qb int, j uint) {
+func (x *tapeExec) runSites(st *runState, qs []int32, measFlip bool) {
+	p := x.p
+	if measFlip {
+		p = x.pMeas
+	}
+	if p <= 0 {
+		return
+	}
+	w := st.w
+	m := int64(len(qs)) << 6
+	for k := 0; k < w; k++ {
+		if st.active[k] == 0 {
+			continue
+		}
+		l := &st.lanes[k]
+		s := &l.single
+		if measFlip {
+			s = &l.meas
+		}
+		for s.next < m {
+			q := int(qs[s.next>>6])
+			j := uint(s.next) & 63
+			bit := uint64(1) << j
+			o := q*w + k
+			if measFlip {
+				st.b.fx[o] ^= bit
+			} else {
+				v := l.rng.Uint64()
+				switch {
+				case v < x.uX:
+					st.b.fx[o] ^= bit
+				case v < x.uXY:
+					st.b.fx[o] ^= bit
+					st.b.fz[o] ^= bit
+				default:
+					st.b.fz[o] ^= bit
+				}
+			}
+			if st.active[k]&bit != 0 {
+				st.inj[k*64+int(j)]++
+			}
+			s.next += s.gap(l.rng)
+		}
+		s.next -= m
+	}
+}
+
+// runPairs walks one fused run of correlated two-qubit sites for every
+// live lane word.
+//
+//qa:hotpath
+func (x *tapeExec) runPairs(st *runState, qa, qb []int32) {
+	if x.p <= 0 {
+		return
+	}
+	w := st.w
+	m := int64(len(qa)) << 6
+	for k := 0; k < w; k++ {
+		if st.active[k] == 0 {
+			continue
+		}
+		l := &st.lanes[k]
+		s := &l.pair
+		for s.next < m {
+			site := s.next >> 6
+			x.applyPairHit(st, k, int(qa[site]), int(qb[site]), uint(s.next)&63)
+			s.next += s.gap(l.rng)
+		}
+		s.next -= m
+	}
+}
+
+// applySingleHit applies one single-qubit channel hit on lane j of word
+// k: the conditional Pauli kind given a hit (PX/P, PY/P, PZ/P), decided
+// by comparing one raw RNG word against the precomputed uint64
+// thresholds.
+//
+//qa:hotpath
+func (x *tapeExec) applySingleHit(st *runState, k, q int, j uint) {
 	bit := uint64(1) << j
-	pr := pairTable[st.rng.Intn(len(pairTable))]
+	o := q*st.w + k
+	v := st.lanes[k].rng.Uint64()
+	switch {
+	case v < x.uX:
+		st.b.fx[o] ^= bit
+	case v < x.uXY:
+		st.b.fx[o] ^= bit
+		st.b.fz[o] ^= bit
+	default:
+		st.b.fz[o] ^= bit
+	}
+	if st.active[k]&bit != 0 {
+		st.inj[k*64+int(j)]++
+	}
+}
+
+// applyPairHit applies one correlated two-qubit hit on lane j of word k:
+// one of the 15 non-trivial pairs, uniformly.
+//
+//qa:hotpath
+func (x *tapeExec) applyPairHit(st *runState, k, qa, qb int, j uint) {
+	bit := uint64(1) << j
+	oa := qa*st.w + k
+	ob := qb*st.w + k
+	pr := pairTable[st.lanes[k].rng.Intn(len(pairTable))]
 	if pr[0]&ErrX != 0 {
-		st.b.fx[qa] ^= bit
+		st.b.fx[oa] ^= bit
 	}
 	if pr[0]&ErrZ != 0 {
-		st.b.fz[qa] ^= bit
+		st.b.fz[oa] ^= bit
 	}
 	if pr[1]&ErrX != 0 {
-		st.b.fx[qb] ^= bit
+		st.b.fx[ob] ^= bit
 	}
 	if pr[1]&ErrZ != 0 {
-		st.b.fz[qb] ^= bit
+		st.b.fz[ob] ^= bit
 	}
-	if st.active&bit != 0 {
-		st.inj[j]++
+	if st.active[k]&bit != 0 {
+		st.inj[k*64+int(j)]++
 	}
 }
 
-// applyScripted injects a scripted Pauli on every lane (scripted runs are
-// single-shot; broadcasting keeps lane 0 correct and the rest unused).
-func (e *Engine) applyScripted(st *runState, q int, p PauliErr) {
+// applyScripted injects a scripted Pauli on every lane of word 0
+// (scripted runs are single-shot; broadcasting keeps lane 0 correct and
+// the rest unused).
+func (x *tapeExec) applyScripted(st *runState, q int, p PauliErr) {
 	if p == ErrNone {
 		return
 	}
+	o := q * st.w
 	if p&ErrX != 0 {
-		st.b.fx[q] ^= ^uint64(0)
+		st.b.fx[o] ^= ^uint64(0)
 	}
 	if p&ErrZ != 0 {
-		st.b.fz[q] ^= ^uint64(0)
+		st.b.fz[o] ^= ^uint64(0)
 	}
 	st.inj[0]++
 }
 
 // sampleCorrectionSlot applies the physical correction slot's error
-// opportunities: one single-qubit channel site per qubit (the corrected
-// qubits execute Pauli gates, the rest idle — all take the same channel),
-// masked to the lanes that actually issued a correction slot. Trials for
-// masked-out lanes are consumed but not applied, which preserves both
-// the per-lane distribution and seed determinism.
+// opportunities for lane word k: one single-qubit channel site per qubit
+// (the corrected qubits execute Pauli gates, the rest idle — all take
+// the same channel), masked to the lanes that actually issued a
+// correction slot. Trials for masked-out lanes are consumed but not
+// applied, which preserves both the per-lane distribution and seed
+// determinism.
 //
 //qa:hotpath
-func (e *Engine) sampleCorrectionSlot(st *runState, hasCorr uint64) {
-	s := &st.single
-	for q := 0; q < e.n; q++ {
-		for s.next < 64 {
-			j := uint(s.next)
-			if hasCorr>>j&1 == 1 {
-				e.applySingleHit(st, q, j)
-			}
-			s.next += s.gap(st.rng)
-		}
-		s.advanceWord()
+func (x *tapeExec) sampleCorrectionSlot(st *runState, k int, hasCorr uint64) {
+	if x.p <= 0 {
+		return
 	}
+	l := &st.lanes[k]
+	s := &l.single
+	m := int64(x.n) << 6
+	for s.next < m {
+		j := uint(s.next) & 63
+		if hasCorr>>j&1 == 1 {
+			x.applySingleHit(st, k, int(s.next>>6), j)
+		}
+		s.next += s.gap(l.rng)
+	}
+	s.next -= m
 }
 
 // decodeGroup applies the windowed decoding rule word-parallel for one
@@ -793,12 +1304,13 @@ func (e *Engine) decodeGroup(r1, r2, carry, dec *[4]uint64) uint64 {
 	return dec[0] | dec[1] | dec[2] | dec[3]
 }
 
-// gather scatters per-site outcome words into syndrome bit-planes per
-// hardware group.
+// gather scatters the per-site outcome words of lane word k into
+// syndrome bit-planes per hardware group.
 //
 //qa:hotpath
-func gather(e *Engine, out []uint64, a, b *[4]uint64) {
-	for i, v := range out {
+func gather(e *Engine, out []uint64, k, w int, a, b *[4]uint64) {
+	for i := range e.groupOfSite {
+		v := out[i*w+k]
 		if e.groupOfSite[i] == 0 {
 			a[e.bitOfSite[i]] = v
 		} else {
@@ -817,19 +1329,21 @@ func synAt(p *[4]uint64, j int) decoder.Syndrome {
 		(p[3]>>uint(j))&1<<3)
 }
 
-// applyCorr XORs a decoded correction mask into one lane's frame: Z
-// corrections into the Z planes, X corrections into the X planes. This
-// models both stack variants at once — a physical correction gate and a
-// frame-absorbed correction differ from the reference by the same Pauli.
+// applyCorr XORs a decoded correction mask into one lane of word k's
+// frame: Z corrections into the Z planes, X corrections into the X
+// planes. This models both stack variants at once — a physical
+// correction gate and a frame-absorbed correction differ from the
+// reference by the same Pauli.
 //
 //qa:hotpath
-func applyCorr(b *Batch, cm uint16, lane uint64, asZ bool) {
+func applyCorr(b *Batch, cm uint16, k int, lane uint64, asZ bool) {
 	for m := cm; m != 0; m &= m - 1 {
 		d := bits.TrailingZeros16(m)
+		o := d*b.w + k
 		if asZ {
-			b.fz[d] ^= lane
+			b.fz[o] ^= lane
 		} else {
-			b.fx[d] ^= lane
+			b.fx[o] ^= lane
 		}
 	}
 }

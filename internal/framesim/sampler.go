@@ -12,12 +12,18 @@ import (
 // between. At the physical error rates of the LER sweeps (p ~ 1e-3) this
 // replaces thousands of RNG calls per ESM round with a handful.
 //
+// The gap is drawn by quantizing an exponential: if E ~ Exp(1), then
+// ⌊E/λ⌋ with λ = −log(1−p) is exactly Geometric(p) on {0, 1, ...} — the
+// same inversion formula as ⌊log(1−u)/log(1−p)⌋ with E = −log(1−u), but
+// rand.ExpFloat64's ziggurat draw costs a fraction of a log evaluation,
+// and the gap draw is the single hottest RNG operation of a sweep.
+//
 // next is the offset of the next hit inside the current 64-trial word;
 // the executor consumes one word per error site and carries the residual
 // offset to the following site via advanceWord.
 type sampler struct {
 	p    float64
-	lp   float64 // log(1 - p), the geometric decay constant
+	invL float64 // 1/λ = −1/log(1 − p), the geometric gap scale
 	next int64
 }
 
@@ -33,19 +39,16 @@ func newSampler(p float64, rng *rand.Rand) sampler {
 		return s
 	}
 	if p < 1 {
-		s.lp = math.Log1p(-p)
+		s.invL = -1 / math.Log1p(-p)
 	}
 	s.next = s.gap(rng) - 1
 	return s
 }
 
-// gap draws the 1-based distance to the next hit: Geometric(p) via
-// inversion, ⌊log(1−u)/log(1−p)⌋ + 1.
+// gap draws the 1-based distance to the next hit: Geometric(p) via the
+// quantized exponential, ⌊Exp(1)·invL⌋ + 1.
 func (s *sampler) gap(rng *rand.Rand) int64 {
-	if s.p >= 1 {
-		return 1
-	}
-	g := math.Log1p(-rng.Float64()) / s.lp
+	g := rng.ExpFloat64() * s.invL
 	if g >= float64(disabledNext) {
 		return disabledNext
 	}

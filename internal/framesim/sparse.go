@@ -19,18 +19,13 @@
 //     threshold the engine degrades to dense speed instead of event-walk
 //     overhead.
 //
-// Two deliberate semantic deltas against the dense engine, both
-// unobservable in the counted statistics:
+// One deliberate semantic delta against the dense engine, unobservable
+// in the counted statistics (both engines omit reset gauge
+// randomization — the randomized Z component would be a stabilizer of
+// the evolving reference and can never flip a measured value; here the
+// omission is also what keeps clean frames zero, the whole point of
+// sparseness):
 //
-//   - No reset gauge randomization. The dense engine refreshes a random Z
-//     plane after Prep/Measure; for this protocol the randomized
-//     component is a stabilizer of the evolving reference and provably
-//     never flips a measured value. Omitting it keeps clean frames zero
-//     (the whole point of sparseness) — but it also reorders the RNG
-//     stream, so sampled sparse runs are *statistically*, not bitwise,
-//     identical to dense runs (the sweep-level agreement test checks
-//     this). Scripted runs never randomized in either engine and must
-//     match the dense traces bit for bit.
 //   - Frame canonicalization. A lane whose diagnostic round is clean has
 //     a residual frame in N(S): it commutes with every stabilizer
 //     generator, so it can never contribute to a future syndrome, and its
@@ -45,6 +40,8 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // defaultDenseThreshold is the dirty-qubit population at which a tape
@@ -241,9 +238,9 @@ func (s *Sparse) newRun(seed int64, script Script) *sparseRun {
 
 // RunBatch runs up to 64 Monte-Carlo shots in one word, with the same
 // termination and accounting semantics as Engine.RunBatch. The sampled
-// results agree with the dense engine in distribution, not bit for bit
-// (see the package comment on gauge randomization). Safe for concurrent
-// use on one Sparse.
+// results agree with the dense engine in distribution (frame
+// canonicalization makes no bitwise promise — see the package comment).
+// Safe for concurrent use on one Sparse.
 func (s *Sparse) RunBatch(seed int64, shots int) ([]ShotResult, error) {
 	if shots < 1 || shots > 64 {
 		return nil, fmt.Errorf("framesim: batch width %d outside 1..64", shots)
@@ -252,6 +249,68 @@ func (s *Sparse) RunBatch(seed int64, shots int) ([]ShotResult, error) {
 	var res [64]ShotResult
 	s.runWindows(st, &res, shots, 0, nil)
 	return append([]ShotResult(nil), res[:shots]...), nil
+}
+
+// RunBatchWide runs up to 64·len(seeds) shots as len(seeds) independent
+// width-1 word runs, one per seed, concatenating the per-word results.
+// The event-driven walker gains nothing from interleaving words (its
+// cost is dominated by per-hit work, not the tape walk), so the wide
+// entry point exists for engine-interchangeability: the result slice is
+// bit-identical to len(seeds) RunBatch calls — and hence to the dense
+// engine's lane-extraction contract for the word seeds.
+func (s *Sparse) RunBatchWide(seeds []int64, shots int) ([]ShotResult, error) {
+	return s.RunBatchWideWorkers(seeds, shots, 1)
+}
+
+// RunBatchWideWorkers is RunBatchWide with the word runs sharded across
+// up to `workers` goroutines in fixed contiguous blocks. Word
+// independence makes the folded result bit-identical for any worker
+// count.
+func (s *Sparse) RunBatchWideWorkers(seeds []int64, shots, workers int) ([]ShotResult, error) {
+	if err := checkWide(seeds, shots); err != nil {
+		return nil, err
+	}
+	w := len(seeds)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > w {
+		workers = w
+	}
+	res := make([]ShotResult, shots)
+	runWord := func(k int) {
+		wordShots := shots - 64*k
+		if wordShots > 64 {
+			wordShots = 64
+		}
+		st := s.newRun(seeds[k], nil)
+		var sub [64]ShotResult
+		s.runWindows(st, &sub, wordShots, 0, nil)
+		copy(res[64*k:64*k+wordShots], sub[:wordShots])
+	}
+	if workers == 1 {
+		for k := 0; k < w; k++ {
+			runWord(k)
+		}
+		return res, nil
+	}
+	block := (w + workers - 1) / workers
+	var wg sync.WaitGroup
+	for c0 := 0; c0 < w; c0 += block {
+		c1 := c0 + block
+		if c1 > w {
+			c1 = w
+		}
+		wg.Add(1)
+		go func(c0, c1 int) {
+			defer wg.Done()
+			for k := c0; k < c1; k++ {
+				runWord(k)
+			}
+		}(c0, c1)
+	}
+	wg.Wait()
+	return res, nil
 }
 
 // RunScripted runs exactly `windows` QEC windows of a single shot with
@@ -352,8 +411,8 @@ func (s *Sparse) runWindows(st *sparseRun, res *[64]ShotResult, shots, scriptWin
 		st.round++
 		s.runTape(st, s.esmT, e.refESM, true, st.r2)
 		st.round++
-		gather(e, st.r1, &a1, &b1)
-		gather(e, st.r2, &a2, &b2)
+		gather(e, st.r1, 0, 1, &a1, &b1)
+		gather(e, st.r2, 0, 1, &a2, &b2)
 
 		nzA := e.decodeGroup(&a1, &a2, &carryA, &decA)
 		nzB := e.decodeGroup(&b1, &b2, &carryB, &decB)
@@ -365,7 +424,7 @@ func (s *Sparse) runWindows(st *sparseRun, res *[64]ShotResult, shots, scriptWin
 			if j == 0 {
 				trA = cm
 			}
-			applyCorr(st.b, cm, uint64(1)<<uint(j), e.gateAIsZ)
+			applyCorr(st.b, cm, 0, uint64(1)<<uint(j), e.gateAIsZ)
 			// Corrections land on data qubits d = mask bit d (identity
 			// layout, asserted by New).
 			st.dirty |= uint64(cm)
@@ -377,7 +436,7 @@ func (s *Sparse) runWindows(st *sparseRun, res *[64]ShotResult, shots, scriptWin
 			if j == 0 {
 				trB = cm
 			}
-			applyCorr(st.b, cm, uint64(1)<<uint(j), !e.gateAIsZ)
+			applyCorr(st.b, cm, 0, uint64(1)<<uint(j), !e.gateAIsZ)
 			st.dirty |= uint64(cm)
 		}
 		var hasCorr uint64
@@ -437,7 +496,7 @@ func (s *Sparse) runWindows(st *sparseRun, res *[64]ShotResult, shots, scriptWin
 
 		if traces != nil {
 			var da, db [4]uint64
-			gather(e, st.diag, &da, &db)
+			gather(e, st.diag, 0, 1, &da, &db)
 			tr := WindowTrace{
 				R1A: synAt(&a1, 0), R1B: synAt(&b1, 0),
 				R2A: synAt(&a2, 0), R2B: synAt(&b2, 0),
@@ -677,16 +736,17 @@ func (s *Sparse) execOp(st *sparseRun, ti *sparseTape, ref []uint64, noisy bool,
 }
 
 // hitSingle applies one single-qubit channel hit on lane j, drawing the
-// conditional Pauli kind exactly like the dense engine.
+// conditional Pauli kind exactly like the dense engine (one raw RNG word
+// against the precomputed thresholds).
 //
 //qa:hotpath
 func (s *Sparse) hitSingle(st *sparseRun, q int, j uint) {
 	bit := uint64(1) << j
-	v := st.rng.Float64() * s.e.p
+	v := st.rng.Uint64()
 	switch {
-	case v < s.e.px:
+	case v < s.e.uX:
 		st.b.fx[q] ^= bit
-	case v < s.e.pxy:
+	case v < s.e.uXY:
 		st.b.fx[q] ^= bit
 		st.b.fz[q] ^= bit
 	default:

@@ -53,7 +53,7 @@ func TestSparseScriptedTraceEquality(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			script := randomScript(rand.New(rand.NewSource(tc.seed)), eng, 2*windows, tc.density)
+			script := randomScript(rand.New(rand.NewSource(tc.seed)), eng.ESMSites(), 2*windows, tc.density)
 			denseTr, denseRes, err := eng.RunScripted(windows, script)
 			if err != nil {
 				t.Fatal(err)

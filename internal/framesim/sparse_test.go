@@ -92,7 +92,7 @@ func TestSparseScriptedSpanEquality(t *testing.T) {
 				t.Fatal(err)
 			}
 			script := sparseScript(rand.New(rand.NewSource(tc.seed)), e.ESMSites(), rounds, tc.density)
-			dst := e.newRunState(0, script)
+			dst := e.newRunState([]int64{0}, script)
 			sst := s.newRun(0, script)
 			outD := make([]uint64, e.esm.NumMeas())
 			outS := make([]uint64, e.esm.NumMeas())

@@ -34,6 +34,14 @@ const (
 	opErrSingle
 	opErrMeas
 	opErrPair
+	// Fused sampled-noise runs (engine-internal; never emitted by
+	// Compile): a maximal per-slot sequence of same-channel error sites
+	// collapsed into one op, so the geometric gap sampler skips the whole
+	// run in one comparison instead of one per site. a is the start index
+	// into the fused program's site array, b the site count.
+	opRunSingle
+	opRunMeas
+	opRunPair
 )
 
 // tapeOp is one tape instruction. a (and b for two-qubit codes) are

@@ -109,9 +109,9 @@ func FuzzCompile(f *testing.F) {
 			return
 		}
 		// A tape that compiled must replay without panicking.
-		e := &Engine{n: tape.NumQubits()}
+		x := &tapeExec{n: tape.NumQubits()}
 		st := &runState{b: NewBatch(tape.NumQubits()), script: Script{}}
 		out := make([]uint64, tape.NumMeas())
-		e.runTape(st, tape, make([]uint64, tape.NumMeas()), true, out)
+		x.runTape(st, tape, make([]uint64, tape.NumMeas()), true, out)
 	})
 }

@@ -280,14 +280,37 @@ func (l *Layer) runESM(b *block) (sx, sz int, err error) {
 // RunWindow executes one QEC window: one ESM round compared against the
 // previous round (two-round agreement), Hamming decode, corrections.
 func (l *Layer) RunWindow(i int) (corrections int, err error) {
+	info, err := l.RunWindowInfo(i)
+	return info.Gates, err
+}
+
+// WindowInfo reports what one QEC window observed and did; the frame
+// engine's differential test compares these against its own traces.
+type WindowInfo struct {
+	// SX / SZ are the raw X-check and Z-check syndromes of the round.
+	SX, SZ int
+	// CorrZ / CorrX name the data qubit corrected per error type this
+	// window (Z gate for the X-check syndrome, X gate for the Z-check
+	// syndrome), or -1. A correction on the same qubit for both merges
+	// into one Y gate.
+	CorrZ, CorrX int
+	// Gates counts the physical correction gates issued (a merged Y
+	// counts once).
+	Gates int
+}
+
+// RunWindowInfo is RunWindow with the decode internals exposed.
+func (l *Layer) RunWindowInfo(i int) (WindowInfo, error) {
 	b := l.blocks[i]
+	info := WindowInfo{CorrZ: -1, CorrX: -1}
 	sx, sz, err := l.runESM(b)
 	if err != nil {
-		return 0, err
+		return info, err
 	}
+	info.SX, info.SZ = sx, sz
 	if !b.prevValid {
 		b.prevX, b.prevZ, b.prevValid = sx, sz, true
-		return 0, nil
+		return info, nil
 	}
 	c := circuit.New()
 	var slot = -1
@@ -301,6 +324,7 @@ func (l *Layer) RunWindow(i int) (corrections int, err error) {
 	if sx != 0 && sx == b.prevX {
 		if d := DecodeSyndrome(sx); d >= 0 {
 			apply(gates.Z, d)
+			info.CorrZ = d
 			sx = 0
 		}
 	}
@@ -312,24 +336,83 @@ func (l *Layer) RunWindow(i int) (corrections int, err error) {
 				for j, op := range c.Slots[slot].Ops {
 					if op.Qubits[0] == b.data[d] {
 						c.Slots[slot].Ops[j] = circuit.NewOp(gates.Y, b.data[d])
+						info.CorrX = d
 						sz = 0
 					}
 				}
 			}
 			if sz != 0 {
 				apply(gates.X, d)
+				info.CorrX = d
 				sz = 0
 			}
 		}
 	}
 	b.prevX, b.prevZ = sx, sz
-	n := c.NumOps()
-	if n > 0 {
+	info.Gates = c.NumOps()
+	if info.Gates > 0 {
 		if err := l.runLower(c); err != nil {
-			return n, err
+			return info, err
 		}
 	}
-	return n, nil
+	return info, nil
+}
+
+// ESMCircuit returns one syndrome-measurement round for block i as a
+// physical circuit over the lower layer's qubits; the frame engine
+// compiles it to a tape.
+func (l *Layer) ESMCircuit(i int) *circuit.Circuit { return l.blocks[i].esmCircuit() }
+
+// RunESMRound executes one syndrome round for block i and returns the
+// X-check and Z-check syndromes without touching the two-round decode
+// state — a diagnostic readout.
+func (l *Layer) RunESMRound(i int) (sx, sz int, err error) { return l.runESM(l.blocks[i]) }
+
+// ProbeZLCircuit builds the non-destructive logical-Z readout for block
+// i: ancilla 0, prepared in |0⟩, accumulates the joint parity of all
+// seven data qubits through CNOTs and is measured — one Z_L = Z⊗7
+// measurement that projects onto the code space it commutes with.
+func (l *Layer) ProbeZLCircuit(i int) *circuit.Circuit {
+	b := l.blocks[i]
+	c := circuit.New().Add(gates.Prep, b.anc[0])
+	for _, q := range b.data {
+		c.Add(gates.CNOT, q, b.anc[0])
+	}
+	return c.Add(gates.Measure, b.anc[0])
+}
+
+// ProbeXLCircuit builds the non-destructive logical-X readout for block
+// i: ancilla 0 in |+⟩ controls CNOTs onto all seven data qubits and is
+// measured in the X basis — one X_L = X⊗7 measurement.
+func (l *Layer) ProbeXLCircuit(i int) *circuit.Circuit {
+	b := l.blocks[i]
+	c := circuit.New().Add(gates.Prep, b.anc[0]).Add(gates.H, b.anc[0])
+	for _, q := range b.data {
+		c.Add(gates.CNOT, b.anc[0], q)
+	}
+	return c.Add(gates.H, b.anc[0]).Add(gates.Measure, b.anc[0])
+}
+
+// ProbeZL runs the Z_L probe circuit for block i and returns the
+// outcome bit.
+func (l *Layer) ProbeZL(i int) (int, error) { return l.probe(l.ProbeZLCircuit(i)) }
+
+// ProbeXL runs the X_L probe circuit for block i and returns the
+// outcome bit.
+func (l *Layer) ProbeXL(i int) (int, error) { return l.probe(l.ProbeXLCircuit(i)) }
+
+func (l *Layer) probe(c *circuit.Circuit) (int, error) {
+	if err := l.Next.Add(c); err != nil {
+		return 0, err
+	}
+	res, err := l.Next.Execute()
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Measurements) == 0 {
+		return 0, fmt.Errorf("steane: probe returned no measurement")
+	}
+	return res.Measurements[len(res.Measurements)-1].Value, nil
 }
 
 // reset initializes a block to |0⟩_L: transversal reset, then project

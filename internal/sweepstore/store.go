@@ -46,7 +46,14 @@ import (
 // adapt_batch). The fields are omitempty, so a non-adaptive spec's JSON
 // is byte-identical to v1 — the version bump is what guarantees pre-PR-7
 // caches are never served as current results.
-const Version = "pf-sweep-v2"
+//
+// v3: the frame engines moved to fused error-run programs with
+// geometric gap sampling (a different RNG draw order than the per-site
+// Bernoulli sweep v2 cached), and Spec/ShardConfig gained the wide-lane
+// fields (lanes / seeds). Both field sets are omitempty, so a width-1
+// spec's JSON is byte-identical to v2 — the version bump alone keeps
+// v2-era frame results from being served as current ones.
+const Version = "pf-sweep-v3"
 
 // keyOf content-addresses one value: SHA-256 over the version, a kind
 // tag, and the canonical JSON encoding. Go's encoding/json is canonical

@@ -2,7 +2,11 @@ package sweepstore
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -423,5 +427,99 @@ func TestAdaptiveSpecNeverCollidesWithV1(t *testing.T) {
 	}
 	if _, err := Open(dir); err == nil {
 		t.Fatal("Open accepted a pf-sweep-v1 store")
+	}
+}
+
+// keyWithVersion reproduces keyOf under an arbitrary version string, for
+// cross-version collision tests.
+func keyWithVersion(t *testing.T, version, kind string, v any) string {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", version, kind)
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestWideLanesNeverCollideWithV2 is the PR-8 cache-migration contract.
+// The fused-run frame engines draw their RNG in a different order than
+// the per-site sweep v2 cached, and the lanes/seeds fields are omitempty,
+// so a width-1 spec or single-word shard encodes byte-identically to its
+// v2 twin — only the version bump separates the caches. This test pins
+// every layer: (1) the version actually moved off v2, (2) current keys
+// differ from the keys a v2-versioned scheme produces for the same
+// values, (3) a wide spec hashes away from its width-1 twin while a
+// Lanes=1 spec normalizes onto it, (4) multi-word shard configs hash
+// away from their first word alone, and (5) Open refuses a v2 store.
+func TestWideLanesNeverCollideWithV2(t *testing.T) {
+	if Version == "pf-sweep-v2" {
+		t.Fatal("Version was not bumped for the fused-run/wide-lane engines")
+	}
+	frame := testSpec()
+	frame.Engine = "framesim"
+	kFrame, err := SpecKey(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 := keyWithVersion(t, "pf-sweep-v2", "spec", frame.Normalized()); v2 == kFrame {
+		t.Error("v3 spec key collides with its v2 key")
+	}
+	sc := experiments.ShardConfig{
+		Engine: "framesim", PER: 3e-3, ErrorType: "x",
+		MaxLogicalErrors: 4, MaxWindows: 3000, Seed: 17, Shots: 64, RefSeed: 424242,
+	}
+	kShard, err := ShardKey(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 := keyWithVersion(t, "pf-sweep-v2", "shard", sc); v2 == kShard {
+		t.Error("v3 shard key collides with its v2 key")
+	}
+
+	wide := frame
+	wide.Lanes = 4
+	kWide, err := SpecKey(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kWide == kFrame {
+		t.Error("Lanes=4 spec shares a key with its width-1 twin")
+	}
+	one := frame
+	one.Lanes = 1
+	kOne, err := SpecKey(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kOne != kFrame {
+		t.Error("Lanes=1 did not normalize onto the width-1 spec key")
+	}
+
+	multi := sc
+	multi.Shots = 128
+	multi.Seeds = []int64{17, 23}
+	kMulti, err := ShardKey(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstOnly := sc
+	firstOnly.Shots = 128
+	kFirst, err := ShardKey(firstOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kMulti == kFirst {
+		t.Error("multi-word shard key ignores the word seed list")
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("pf-sweep-v2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a pf-sweep-v2 store")
 	}
 }
