@@ -102,6 +102,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lersweep:", err)
 			os.Exit(1)
 		}
+		//qa:allow errcheck profile file close is best-effort diagnostics
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "lersweep:", err)
@@ -116,6 +117,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "lersweep:", err)
 				return
 			}
+			//qa:allow errcheck profile file close is best-effort diagnostics
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {

@@ -88,6 +88,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8070", "listen address")
 	storeDir := fs.String("store", "", "result store directory (required)")
 	workers := fs.Int("workers", 0, "worker pool size per sweep (0 = all CPUs); results are identical for any value")
+	//qa:allow errcheck ExitOnError flag sets never return an error
 	fs.Parse(args)
 	switch {
 	case fs.NArg() > 0:
@@ -152,6 +153,7 @@ func cmdClient(cmd string, args []string) error {
 		wait = fs.Bool("wait", false, "poll until the sweep finishes")
 		poll = fs.Duration("poll", 250*time.Millisecond, "status poll interval with -wait")
 	}
+	//qa:allow errcheck ExitOnError flag sets never return an error
 	fs.Parse(args)
 	switch {
 	case fs.NArg() > 0:
@@ -262,6 +264,7 @@ func fetchResult(base, id, out string) error {
 	if err != nil {
 		return err
 	}
+	//qa:allow errcheck response body close after full read, nothing to recover
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -289,6 +292,7 @@ func doJSON(method, url string, body []byte, into any) error {
 	if err != nil {
 		return err
 	}
+	//qa:allow errcheck response body close after full read, nothing to recover
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {

@@ -45,7 +45,7 @@ measure 8
 `
 
 func main() {
-	chip := layers.NewChpCore(rand.New(rand.NewSource(7)))
+	chip := layers.NewChpCore(rand.New(rand.NewSource(7))) //qa:allow seed-flow fixed demo seed keeps the printed output reproducible
 	if err := chip.CreateQubits(surface.NumQubits); err != nil {
 		log.Fatal(err)
 	}

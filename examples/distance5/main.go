@@ -15,8 +15,8 @@ import (
 )
 
 func main() {
-	chp := layers.NewChpCore(rand.New(rand.NewSource(5)))
-	errl := layers.NewErrorLayer(chp, 5e-4, rand.New(rand.NewSource(6)))
+	chp := layers.NewChpCore(rand.New(rand.NewSource(5)))                //qa:allow seed-flow fixed demo seed keeps the printed output reproducible
+	errl := layers.NewErrorLayer(chp, 5e-4, rand.New(rand.NewSource(6))) //qa:allow seed-flow fixed demo seed keeps the printed output reproducible
 	plane, err := surfaced.NewPlane(errl, 5)
 	if err != nil {
 		log.Fatal(err)

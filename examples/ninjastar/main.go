@@ -25,8 +25,8 @@ func main() {
 	survived := 0
 	totalCorrections := 0
 	for shot := 0; shot < shots; shot++ {
-		chp := layers.NewChpCore(rand.New(rand.NewSource(int64(100 + shot))))
-		errl := layers.NewErrorLayer(chp, per, rand.New(rand.NewSource(int64(200+shot))))
+		chp := layers.NewChpCore(rand.New(rand.NewSource(int64(100 + shot))))             //qa:allow seed-flow fixed demo seed keeps the printed output reproducible
+		errl := layers.NewErrorLayer(chp, per, rand.New(rand.NewSource(int64(200+shot)))) //qa:allow seed-flow fixed demo seed keeps the printed output reproducible
 		star := surface.NewNinjaStarLayer(errl, surface.Config{Ancilla: surface.AncillaDedicated})
 		if err := star.CreateQubits(1); err != nil {
 			log.Fatal(err)

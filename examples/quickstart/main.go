@@ -17,7 +17,7 @@ import (
 func main() {
 	// Bottom-up: a state-vector core, a counter (to see what reaches the
 	// simulator), and a Pauli frame layer on top.
-	qx := layers.NewQxCore(rand.New(rand.NewSource(1)))
+	qx := layers.NewQxCore(rand.New(rand.NewSource(1))) //qa:allow seed-flow fixed demo seed keeps the printed output reproducible
 	counter := layers.NewCounterLayer(qx)
 	pf := layers.NewPauliFrameLayer(counter)
 	if err := pf.CreateQubits(2); err != nil {

@@ -110,6 +110,9 @@ func (t *Tableau) Reinit(rng *rand.Rand) {
 
 func (t *Tableau) check(q int) {
 	if q < 0 || q >= t.n {
+		// The Sprintf only runs on the panic path, never on a
+		// successful gate application.
+		//qa:allow hotpath panic-path formatting, unreachable in valid circuits
 		panic(fmt.Sprintf("chp: qubit %d out of range [0,%d)", q, t.n))
 	}
 }

@@ -565,6 +565,7 @@ func (s *Sparse) runTape(st *sparseRun, ti *sparseTape, ref []uint64, noisy bool
 	copy(out, ref)
 	if st.script != nil {
 		if noisy {
+			//qa:allow hotpath scripted runs are single-shot diagnostics, cold by design
 			s.runTapeScripted(st, ti, ref, out)
 			return
 		}

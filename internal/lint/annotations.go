@@ -14,10 +14,13 @@ import (
 //	    In the doc comment of a function: the function is a hot kernel;
 //	    the hotpath check forbids allocation sources inside it.
 //
-//	//qa:allow <check>
+//	//qa:allow <check> [rationale …]
 //	    On a line of its own or trailing a statement: suppress <check>
 //	    findings on that line and the line directly below (so the
-//	    annotation can sit above the flagged statement).
+//	    annotation can sit above the flagged statement). Everything
+//	    after the check name is free-text rationale — why the drop or
+//	    exception is deliberate; write one for every errcheck and
+//	    concurrency allow.
 //
 // Anything else after //qa: is a parse error, reported as a finding of
 // the "qa" pseudo-check so a typo cannot silently disable enforcement.
@@ -71,7 +74,7 @@ func ParseNotes(fset *token.FileSet, files []*ast.File, knownChecks []string) *N
 						n.hotpath[pos.Filename] = file
 					}
 					file[pos.Line] = true
-				case len(fields) == 2 && fields[0] == allowDirective:
+				case len(fields) >= 2 && fields[0] == allowDirective:
 					if !known[fields[1]] {
 						n.errorf(pos, "unknown check %q in %s directive", fields[1], AnnotationPrefix+allowDirective)
 						continue
@@ -88,7 +91,7 @@ func ParseNotes(fset *token.FileSet, files []*ast.File, knownChecks []string) *N
 					}
 					line[fields[1]] = true
 				default:
-					n.errorf(pos, "malformed annotation %q: want %shotpath or %sallow <check>",
+					n.errorf(pos, "malformed annotation %q: want %shotpath or %sallow <check> [rationale]",
 						c.Text, AnnotationPrefix, AnnotationPrefix)
 				}
 			}

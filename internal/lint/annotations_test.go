@@ -92,6 +92,74 @@ func TestParseNotesAllow(t *testing.T) {
 	}
 }
 
+// FuzzParseAnnotations feeds arbitrary directive bodies through the
+// //qa: grammar: the parser must never panic, and every comment that
+// starts with the prefix must either land in a directive table or be
+// reported as a malformed-annotation finding — a typo can never
+// silently disable enforcement.
+func FuzzParseAnnotations(f *testing.F) {
+	for _, seed := range []string{
+		"hotpath",
+		"hotpath trailing prose",
+		"allow",
+		"allow determinism",
+		"allow determinism documented rationale here",
+		"allow nosuchcheck",
+		"allow float-eq \t mixed\twhitespace",
+		"frobnicate",
+		"",
+		" ",
+		"allow determinism nbsp",
+		"ALLOW determinism",
+		"allow determinism; drop table",
+	} {
+		f.Add(seed)
+	}
+	known := []string{CheckDeterminism, CheckFloatEq}
+	isKnown := map[string]bool{CheckDeterminism: true, CheckFloatEq: true}
+	f.Fuzz(func(t *testing.T, body string) {
+		if strings.ContainsAny(body, "\n\r") {
+			t.Skip("newlines end a line comment before the parser sees the rest")
+		}
+		src := "package a\n\n" + AnnotationPrefix + body + "\nvar V int\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip("body breaks the surrounding file, not the grammar")
+		}
+		notes := ParseNotes(fset, []*ast.File{file}, known)
+
+		// Recover what the parser actually saw: comment mangling (e.g. a
+		// \x00 truncating the text) means the directive may differ from
+		// the input body.
+		var comment string
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, AnnotationPrefix) {
+					comment = strings.TrimPrefix(c.Text, AnnotationPrefix)
+				}
+			}
+		}
+		if comment == "" && len(file.Comments) == 0 {
+			t.Skip("comment did not survive parsing")
+		}
+		fields := strings.Fields(comment)
+		wellFormed := (len(fields) == 1 && fields[0] == hotpathDirective) ||
+			(len(fields) >= 2 && fields[0] == allowDirective && isKnown[fields[1]])
+		if wellFormed && len(notes.Errs) != 0 {
+			t.Errorf("well-formed directive %q reported errors: %v", comment, notes.Errs)
+		}
+		if !wellFormed && len(notes.Errs) == 0 {
+			t.Errorf("malformed directive %q produced no finding", comment)
+		}
+		for _, e := range notes.Errs {
+			if e.Check != "qa" || e.Message == "" {
+				t.Errorf("parse error must carry the qa pseudo-check and a message, got %+v", e)
+			}
+		}
+	})
+}
+
 func TestParseNotesMalformed(t *testing.T) {
 	_, _, notes := parseAnnotSrc(t)
 	if len(notes.Errs) != 3 {

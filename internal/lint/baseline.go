@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable output and the baseline mechanism. cmd/qalint -json
+// renders one JSONDiagnostic per line (JSON Lines, trivially consumed
+// by jq or a CI annotator), and -baseline <file> replays a previous
+// -json capture as a suppression list so a new check can land strictly
+// on a codebase with known findings: baselined findings are filtered,
+// anything new still fails the build.
+//
+// Baseline matching is deliberately line-insensitive — entries match on
+// (check, file, message), as a multiset — so unrelated edits that shift
+// line numbers do not resurrect suppressed findings. The repo itself
+// carries no baseline (every finding is fixed or annotated); the
+// mechanism exists for downstream forks and for staging future checks.
+
+// JSONDiagnostic is the machine-readable form of one finding. File is
+// module-root-relative with forward slashes, so captures are portable
+// across checkouts.
+type JSONDiagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// ToJSON converts a diagnostic, relativizing the filename to root when
+// possible.
+func ToJSON(d Diagnostic, root string) JSONDiagnostic {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return JSONDiagnostic{
+		Check:   d.Check,
+		File:    filepath.ToSlash(file),
+		Line:    d.Pos.Line,
+		Col:     d.Pos.Column,
+		Message: d.Message,
+	}
+}
+
+// WriteJSON renders findings as JSON Lines.
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if err := enc.Encode(ToJSON(d, root)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Baseline is a multiset of known findings keyed by (check, file,
+// message).
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	check, file, message string
+}
+
+// LoadBaseline reads a baseline file: JSON Lines as produced by -json
+// (blank lines and #-comment lines are skipped).
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//qa:allow errcheck file is opened read-only, close cannot lose data
+	defer f.Close()
+	b := &Baseline{counts: map[baselineKey]int{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var d JSONDiagnostic
+		if err := json.Unmarshal([]byte(text), &d); err != nil {
+			return nil, fmt.Errorf("baseline %s:%d: %w", path, line, err)
+		}
+		if d.Check == "" || d.File == "" {
+			return nil, fmt.Errorf("baseline %s:%d: entry needs at least check and file", path, line)
+		}
+		b.counts[baselineKey{d.Check, d.File, d.Message}]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Filter removes findings covered by the baseline, consuming one entry
+// per match, and returns the remainder (the findings that must still
+// fail the run).
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	if b == nil {
+		return diags
+	}
+	left := map[baselineKey]int{}
+	for k, n := range b.counts {
+		left[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		j := ToJSON(d, root)
+		k := baselineKey{j.Check, j.File, j.Message}
+		if left[k] > 0 {
+			left[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func diag(check, file string, line, col int, msg string) Diagnostic {
+	return Diagnostic{
+		Check:   check,
+		Pos:     token.Position{Filename: file, Line: line, Column: col},
+		Message: msg,
+	}
+}
+
+// TestWriteJSONRoundTrip pins the -json contract: one object per line,
+// each decodable by encoding/json back into an identical JSONDiagnostic,
+// with filenames relativized to the module root as forward-slash paths.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	root := filepath.FromSlash("/mod")
+	diags := []Diagnostic{
+		diag(CheckHotpath, filepath.FromSlash("/mod/internal/a/a.go"), 10, 3, "make in hot kernel"),
+		diag(CheckErrcheck, filepath.FromSlash("/mod/cmd/x/main.go"), 7, 1, `dropped error in "quoted" context`),
+		diag(CheckSeedFlow, filepath.FromSlash("/elsewhere/b.go"), 1, 1, "outside the module stays absolute"),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags, root); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(diags), buf.String())
+	}
+	var got []JSONDiagnostic
+	for i, l := range lines {
+		var d JSONDiagnostic
+		if err := json.Unmarshal(l, &d); err != nil {
+			t.Fatalf("line %d does not round-trip: %v\n%s", i+1, err, l)
+		}
+		got = append(got, d)
+	}
+	want := []JSONDiagnostic{
+		{Check: CheckHotpath, File: "internal/a/a.go", Line: 10, Col: 3, Message: "make in hot kernel"},
+		{Check: CheckErrcheck, File: "cmd/x/main.go", Line: 7, Col: 1, Message: `dropped error in "quoted" context`},
+		{Check: CheckSeedFlow, File: filepath.ToSlash(filepath.FromSlash("/elsewhere/b.go")), Line: 1, Col: 1, Message: "outside the module stays absolute"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestBaselineFilter pins the suppression semantics: matching is
+// line-insensitive (check, file, message), each entry is consumed once,
+// and unmatched findings survive.
+func TestBaselineFilter(t *testing.T) {
+	root := filepath.FromSlash("/mod")
+	old := []Diagnostic{
+		diag(CheckErrcheck, filepath.FromSlash("/mod/p/p.go"), 10, 1, "dropped"),
+		diag(CheckErrcheck, filepath.FromSlash("/mod/p/p.go"), 20, 1, "dropped"),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, old, root); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "base.jsonl")
+	content := append([]byte("# comment line\n\n"), buf.Bytes()...)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+
+	now := []Diagnostic{
+		// Same finding, shifted line: still suppressed.
+		diag(CheckErrcheck, filepath.FromSlash("/mod/p/p.go"), 13, 1, "dropped"),
+		// Second copy consumes the second entry.
+		diag(CheckErrcheck, filepath.FromSlash("/mod/p/p.go"), 25, 1, "dropped"),
+		// Third copy exceeds the multiset: must survive.
+		diag(CheckErrcheck, filepath.FromSlash("/mod/p/p.go"), 30, 1, "dropped"),
+		// Different message: must survive.
+		diag(CheckErrcheck, filepath.FromSlash("/mod/p/p.go"), 10, 1, "other"),
+	}
+	rest := b.Filter(now, root)
+	if len(rest) != 2 {
+		t.Fatalf("Filter kept %d findings, want 2: %v", len(rest), rest)
+	}
+	if rest[0].Pos.Line != 30 || rest[1].Message != "other" {
+		t.Errorf("Filter kept the wrong findings: %v", rest)
+	}
+}
+
+// TestLoadBaselineRejectsGarbage pins the error paths: non-JSON lines
+// and entries without identifying fields are loader errors, not silent
+// no-ops.
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"notjson.jsonl": "{half a line\n",
+		"empty.jsonl":   `{"line": 3}` + "\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBaseline(path); err == nil {
+			t.Errorf("%s: LoadBaseline accepted invalid input", name)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The concurrency check is the static half of the Workers=1 == Workers=N
+// bit-identity contract (internal/experiments/parallel_test.go asserts
+// the dynamic half). The worker pools keep sweeps deterministic by
+// construction — jobs are indexed by an atomic cursor and write to
+// disjoint index-addressed slots — and this check flags the three shapes
+// that smuggle scheduling or map order back into results, inside
+// Config.SimPackages:
+//
+//  1. a go statement inside a range over a map: the launch order (and
+//     with it any shared-state interleaving) inherits Go's randomized
+//     iteration order;
+//  2. a closure launched by go, or handed to a worker pool (any
+//     func-typed call argument), that captures the key/value variables
+//     of an enclosing range over a map: the captured state depends on
+//     the randomized order;
+//  3. a go-launched closure that writes a captured variable directly
+//     (x = …, x += …, x++ where x is declared outside the closure):
+//     the final value depends on goroutine scheduling. Index-addressed
+//     writes to disjoint slots (out[i] = r) are the sanctioned pattern
+//     and stay legal.
+//
+// A loop proven safe by construction is annotated //qa:allow
+// concurrency with a rationale.
+const CheckConcurrency = "concurrency"
+
+var _ = register(&Check{
+	Name: CheckConcurrency,
+	Doc:  "goroutines and worker-pool closures coupling results to map order or scheduling in sim code",
+	Run:  runConcurrency,
+})
+
+func runConcurrency(p *Pass) {
+	if !hasPrefix(p.Pkg.Path, p.Cfg.SimPackages) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &concWalker{p: p, fn: fn}
+			w.walk(fn.Body)
+		}
+	}
+}
+
+// concWalker tracks the stack of enclosing range-over-map statements
+// while walking one function body.
+type concWalker struct {
+	p  *Pass
+	fn *ast.FuncDecl
+	// mapVars are the key/value variables of the enclosing map ranges.
+	mapVars []map[*types.Var]bool
+	// inMapRange counts enclosing range-over-map bodies.
+	inMapRange int
+}
+
+func (w *concWalker) walk(n ast.Node) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.RangeStmt:
+		if w.isMapRange(n) {
+			w.mapVars = append(w.mapVars, w.rangeVars(n))
+			w.inMapRange++
+			ast.Inspect(n.Body, w.visit)
+			w.inMapRange--
+			w.mapVars = w.mapVars[:len(w.mapVars)-1]
+			return
+		}
+		ast.Inspect(n.Body, w.visit)
+	default:
+		ast.Inspect(n, w.visit)
+	}
+}
+
+// visit dispatches one node, recursing manually through range
+// statements so the map-range stack stays accurate.
+func (w *concWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		// Re-enter through walk to push/pop the stack; visit the range
+		// header expressions here (they cannot contain go statements of
+		// interest beyond what Inspect covers).
+		w.walk(n)
+		return false
+	case *ast.GoStmt:
+		w.checkGo(n)
+	case *ast.CallExpr:
+		w.checkPoolSubmission(n)
+	}
+	return true
+}
+
+func (w *concWalker) isMapRange(rng *ast.RangeStmt) bool {
+	t := w.p.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rangeVars collects the key/value variable objects of one range.
+func (w *concWalker) rangeVars(rng *ast.RangeStmt) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.p.Pkg.Info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			vars[v] = true
+		}
+	}
+	return vars
+}
+
+// checkGo handles rules 1 and 3 at a go statement.
+func (w *concWalker) checkGo(g *ast.GoStmt) {
+	if w.inMapRange > 0 {
+		w.p.Reportf(CheckConcurrency, g.Pos(),
+			"goroutine launched inside range over map: launch order inherits the randomized iteration order (iterate sorted keys, or annotate a provably order-free launch with %sallow concurrency)",
+			AnnotationPrefix)
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	w.checkCapturedWrites(lit)
+}
+
+// checkCapturedWrites implements rule 3: direct writes inside a
+// go-launched closure to variables declared outside it.
+func (w *concWalker) checkCapturedWrites(lit *ast.FuncLit) {
+	info := w.p.Pkg.Info
+	reported := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, tgt := range targets {
+			id, ok := tgt.(*ast.Ident)
+			if !ok {
+				continue // out[i] = r and *p = v are the sanctioned shapes
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || reported[v] {
+				continue // := declarations resolve through Defs, not Uses
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				continue // closure-local
+			}
+			reported[v] = true
+			w.p.Reportf(CheckConcurrency, id.Pos(),
+				"goroutine writes captured variable %q: the final value depends on scheduling (use index-addressed slots or a channel, or annotate %sallow concurrency)",
+				v.Name(), AnnotationPrefix)
+		}
+		return true
+	})
+}
+
+// checkPoolSubmission implements rule 2: func literals passed as
+// func-typed arguments (worker-pool submissions) that capture
+// range-over-map state.
+func (w *concWalker) checkPoolSubmission(call *ast.CallExpr) {
+	if len(w.mapVars) == 0 {
+		return
+	}
+	sigT := w.p.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Signature); !ok {
+			continue
+		}
+		if v := w.capturedMapVar(lit); v != nil {
+			w.p.Reportf(CheckConcurrency, lit.Pos(),
+				"closure passed to %s captures range-over-map variable %q: submission order and captured state inherit the randomized iteration order",
+				calleeDesc(w.p, call), v.Name())
+		}
+	}
+}
+
+// capturedMapVar returns a key/value variable of an enclosing map range
+// that the literal captures, or nil.
+func (w *concWalker) capturedMapVar(lit *ast.FuncLit) *types.Var {
+	info := w.p.Pkg.Info
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		for _, scope := range w.mapVars {
+			if scope[v] {
+				found = v
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

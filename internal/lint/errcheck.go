@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The errcheck check forbids silently discarded error returns in
+// non-test code. The sweep service made errors load-bearing: a dropped
+// write error in sweepstore corrupts the content-addressed cache, a
+// dropped encode error in sweepserve truncates a result a client will
+// trust, and a dropped close error in a CLI loses the very data the
+// run computed. Three discard shapes are flagged:
+//
+//   - a call used as a statement (also under go/defer) whose results
+//     include an error;
+//   - an error result assigned to the blank identifier (_ = f(),
+//     v, _ := f());
+//
+// A small allowlist covers APIs where dropping is the documented
+// convention: fmt printing to stdout (Print/Printf/Println), fmt.Fprint*
+// to os.Stdout/os.Stderr/io.Discard or to the never-failing in-memory
+// writers (*bytes.Buffer, *strings.Builder), methods on those writers,
+// and hash.Hash writers — h.Write and fmt.Fprint* to a hash.Hash are
+// defined to never return an error.
+//
+// A deliberate drop is annotated //qa:allow errcheck <rationale> on the
+// line — best-effort cleanup paths, io to an already-doomed connection.
+const CheckErrcheck = "errcheck"
+
+var _ = register(&Check{
+	Name: CheckErrcheck,
+	Doc:  "discarded error returns in non-test code; annotate deliberate drops with //qa:allow errcheck <why>",
+	Run:  runErrcheck,
+})
+
+func runErrcheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(p, call, "")
+				}
+			case *ast.GoStmt:
+				checkDroppedCall(p, n.Call, "go ")
+			case *ast.DeferStmt:
+				checkDroppedCall(p, n.Call, "defer ")
+			case *ast.AssignStmt:
+				checkBlankError(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall flags a call statement whose result tuple contains
+// an error that nobody can ever observe.
+func checkDroppedCall(p *Pass, call *ast.CallExpr, prefix string) {
+	if !returnsError(p, call) || errcheckAllowlisted(p, call) {
+		return
+	}
+	p.Reportf(CheckErrcheck, call.Pos(),
+		"%s%s discards its error result: handle it or annotate a deliberate drop with %sallow errcheck <why>",
+		prefix, calleeDesc(p, call), AnnotationPrefix)
+}
+
+// checkBlankError flags error results assigned to the blank identifier.
+func checkBlankError(p *Pass, as *ast.AssignStmt) {
+	// Single call on the RHS: a, _ := f() — match blanks against the
+	// call's result tuple positions.
+	if len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || errcheckAllowlisted(p, call) {
+			return
+		}
+		res := callResults(p, call)
+		if res == nil {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i >= res.Len() {
+				break
+			}
+			if isBlankIdent(lhs) && isErrorType(res.At(i).Type()) {
+				p.Reportf(CheckErrcheck, lhs.Pos(),
+					"error result of %s assigned to _: handle it or annotate a deliberate drop with %sallow errcheck <why>",
+					calleeDesc(p, call), AnnotationPrefix)
+			}
+		}
+		return
+	}
+	// Parallel assignment: _ = f() among others.
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlankIdent(lhs) {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || !returnsError(p, call) || errcheckAllowlisted(p, call) {
+			continue
+		}
+		p.Reportf(CheckErrcheck, lhs.Pos(),
+			"error result of %s assigned to _: handle it or annotate a deliberate drop with %sallow errcheck <why>",
+			calleeDesc(p, call), AnnotationPrefix)
+	}
+}
+
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callResults returns the result tuple of a call, nil for conversions
+// and builtins.
+func callResults(p *Pass, call *ast.CallExpr) *types.Tuple {
+	if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil
+	}
+	sigT := p.TypeOf(call.Fun)
+	if sigT == nil {
+		return nil
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	res := callResults(p, call)
+	if res == nil {
+		return false
+	}
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// errcheckAllowlisted reports callees where dropping the error is the
+// documented convention.
+func errcheckAllowlisted(p *Pass, call *ast.CallExpr) bool {
+	info := p.Pkg.Info
+	// Package-level fmt printers.
+	if callee := StaticCallee(info, call); callee != nil && callee.Pkg() != nil {
+		pkg, name := callee.Pkg().Path(), callee.Name()
+		if pkg == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println":
+				return true
+			case "Fprint", "Fprintf", "Fprintln":
+				return len(call.Args) > 0 && neverFailingWriter(p, call.Args[0])
+			}
+		}
+	}
+	// Methods on never-failing in-memory writers, and hash.Hash.Write.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok {
+			recv := s.Recv()
+			if isNeverFailingWriterType(recv) {
+				return true
+			}
+			if sel.Sel.Name == "Write" && isNamedType(recv, "hash", "Hash") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// neverFailingWriter recognizes os.Stdout/os.Stderr/io.Discard and
+// expressions whose static type is a never-failing in-memory writer.
+func neverFailingWriter(p *Pass, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if pkgName, name := selectorPackage(p, sel); pkgName != nil {
+			switch pkgName.Imported().Path() {
+			case "os":
+				if name == "Stdout" || name == "Stderr" {
+					return true
+				}
+			case "io":
+				if name == "Discard" {
+					return true
+				}
+			}
+		}
+	}
+	t := p.TypeOf(w)
+	return isNeverFailingWriterType(t) || isNamedType(t, "hash", "Hash")
+}
+
+// isNeverFailingWriterType matches *bytes.Buffer and *strings.Builder
+// (their Write methods are documented to always return a nil error).
+func isNeverFailingWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isNamedType(t, "bytes", "Buffer") || isNamedType(t, "strings", "Builder")
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeDesc renders the called function for the diagnostic message.
+func calleeDesc(p *Pass, call *ast.CallExpr) string {
+	if callee := StaticCallee(p.Pkg.Info, call); callee != nil {
+		return fnName(callee)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "call"
+}

@@ -40,10 +40,19 @@ func TestFixtures(t *testing.T) {
 		name string
 		cfg  *Config
 	}{
-		{"determinism", &Config{SimPackages: []string{"fixture/"}, ClockPackages: []string{"fixture/"}}},
-		{"exhaustive", &Config{EnumPackages: []string{"fixture/exhaustive"}}},
-		{"hotpath", &Config{}},
-		{"floateq", &Config{}},
+		// Each case scopes Enabled to the check under test so fixture
+		// packages stay independent as the check set grows.
+		{"determinism", &Config{Enabled: []string{CheckDeterminism}, SimPackages: []string{"fixture/"}, ClockPackages: []string{"fixture/"}}},
+		{"exhaustive", &Config{Enabled: []string{CheckExhaustive}, EnumPackages: []string{"fixture/exhaustive"}}},
+		{"hotpath", &Config{Enabled: []string{CheckHotpath}}},
+		{"floateq", &Config{Enabled: []string{CheckFloatEq}}},
+		{"seedflow", &Config{
+			Enabled:     []string{CheckSeedFlow},
+			SimPackages: []string{"fixture/"},
+			SeedFuncs:   append(DefaultSeedFuncs(), SeedFunc{Pkg: "fixture/seedflow", Name: "Mix", Arg: 0}),
+		}},
+		{"errcheck", &Config{Enabled: []string{CheckErrcheck}}},
+		{"concurrency", &Config{Enabled: []string{CheckConcurrency}, SimPackages: []string{"fixture/"}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -95,7 +104,7 @@ func TestChecksRegistry(t *testing.T) {
 		}
 		names = append(names, c.Name)
 	}
-	want := []string{CheckDeterminism, CheckExhaustive, CheckFloatEq, CheckHotpath}
+	want := []string{CheckDeterminism, CheckExhaustive, CheckFloatEq, CheckHotpath, CheckSeedFlow, CheckErrcheck, CheckConcurrency}
 	sort.Strings(want)
 	if strings.Join(names, " ") != strings.Join(want, " ") {
 		t.Errorf("registered checks = %v, want %v", names, want)

@@ -24,6 +24,16 @@ import (
 // materialized by the compiler as static data and the call is the loud
 // failure path the kernels are required to keep.
 //
+// The check is interprocedural (PR 9): every call inside a hot function
+// is resolved through the module call graph (callgraph.go) and the
+// callee must be provably allocation-free — its own body clean under
+// the same rules, transitively through its static callees. External
+// callees are trusted only on the allocation-free stdlib allowlist
+// (math, math/bits); calls through func values or interface methods
+// cannot be resolved and are conservatively treated as may-allocate,
+// except a local variable bound exactly once to a func literal in the
+// same function (the body is visible and scanned in place).
+//
 // A deliberate exception (e.g. a cold sub-path inside a hot function)
 // is annotated //qa:allow hotpath on the offending line.
 const CheckHotpath = "hotpath"
@@ -54,7 +64,7 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkHotCall(p, name, n)
+			checkHotCall(p, name, fn, n)
 		case *ast.CompositeLit:
 			p.Reportf(CheckHotpath, n.Pos(),
 				"%s is //qa:hotpath: composite literal may allocate", name)
@@ -77,10 +87,11 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
 	})
 }
 
-// checkHotCall flags allocating builtins and implicit interface
-// conversions at call arguments.
-func checkHotCall(p *Pass, name string, call *ast.CallExpr) {
-	if id, ok := call.Fun.(*ast.Ident); ok {
+// checkHotCall flags allocating builtins, allocating conversions,
+// implicit interface conversions at call arguments, transitive
+// allocations in static callees, and unresolvable dynamic calls.
+func checkHotCall(p *Pass, name string, enclosing *ast.FuncDecl, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "append", "make", "new":
@@ -90,14 +101,23 @@ func checkHotCall(p *Pass, name string, call *ast.CallExpr) {
 			return // other builtins (len, cap, panic(const), …) are fine
 		}
 	}
-	// Explicit conversion T(x) where T is an interface type.
+	// Explicit conversion T(x): interface boxing and string<->[]byte.
 	if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
-		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isConstExpr(p, call.Args[0]) {
+		if len(call.Args) != 1 || isConstExpr(p, call.Args[0]) {
+			return
+		}
+		if types.IsInterface(tv.Type) {
 			p.Reportf(CheckHotpath, call.Pos(),
 				"%s is //qa:hotpath: conversion to interface %s allocates", name, tv.Type.String())
+		} else if stringBytesConversion(tv.Type, p.TypeOf(call.Args[0])) {
+			p.Reportf(CheckHotpath, call.Pos(),
+				"%s is //qa:hotpath: conversion between string and byte/rune slice allocates", name)
 		}
 		return
 	}
+	// Interprocedural edge: the callee must be provably allocation-free
+	// through the module call graph.
+	checkHotCallee(p, name, enclosing, call)
 	// Implicit conversions of arguments to interface parameters.
 	sigT := p.TypeOf(call.Fun)
 	if sigT == nil {
@@ -129,6 +149,31 @@ func checkHotCall(p *Pass, name string, call *ast.CallExpr) {
 		p.Reportf(CheckHotpath, arg.Pos(),
 			"%s is //qa:hotpath: argument converts %s to interface %s (allocates)", name, at.String(), pt.String())
 	}
+}
+
+// checkHotCallee resolves the call target through the call graph and
+// reports callees that are not provably allocation-free: static callees
+// whose may-allocate lattice value is true (with the transitive reason
+// chain) and dynamic calls that cannot be resolved at all.
+func checkHotCallee(p *Pass, name string, enclosing *ast.FuncDecl, call *ast.CallExpr) {
+	if p.Prog == nil {
+		return
+	}
+	if callee := StaticCallee(p.Pkg.Info, call); callee != nil {
+		if may, why := p.Prog.MayAllocate(callee); may {
+			p.Reportf(CheckHotpath, call.Pos(),
+				"%s is //qa:hotpath: calls %s, which is not provably allocation-free: %s", name, fnName(callee), why)
+		}
+		return
+	}
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return // directly-invoked literal: body walked by this very pass
+	}
+	if localFuncLitBinding(p.Pkg.Info, enclosing, call.Fun) != nil {
+		return // f := func(){…}; f(): static indirection, body walked
+	}
+	p.Reportf(CheckHotpath, call.Pos(),
+		"%s is //qa:hotpath: dynamic call (func value or interface method) is not provably allocation-free", name)
 }
 
 // checkHotAssign flags string += and assignments that box a concrete

@@ -55,9 +55,12 @@ type Package struct {
 }
 
 // Pass is the per-package context handed to a check's Run function.
+// Prog is the module-wide view (call graph, cross-package function
+// index) shared by every pass of one Run.
 type Pass struct {
 	Cfg  *Config
 	Pkg  *Package
+	Prog *Program
 	diag *[]Diagnostic
 }
 
@@ -115,6 +118,19 @@ type Config struct {
 	// EnumPackages are import paths whose named constant sets the
 	// exhaustive check enforces switch coverage for.
 	EnumPackages []string
+	// HotAllowPackages are external (stdlib) package paths the
+	// interprocedural hotpath lattice trusts as allocation-free; nil
+	// means the default {"math", "math/bits"}.
+	HotAllowPackages []string
+	// HotAllowFuncs are individual external functions the lattice
+	// trusts as allocation-free, named as fnName renders them (e.g.
+	// "(*math/rand.Rand).Uint64"); nil means defaultHotAllowFuncs.
+	// Use this for packages whose constructors allocate but whose draw
+	// methods do not — whole-package trust would be wrong there.
+	HotAllowFuncs []string
+	// SeedFuncs are the RNG-seeding call sites the seed-flow check
+	// taints; nil means DefaultSeedFuncs().
+	SeedFuncs []SeedFunc
 }
 
 // Default returns the repo configuration: every check, determinism over
@@ -153,6 +169,7 @@ func hasPrefix(path string, prefixes []string) bool {
 // findings sorted by position.
 func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
+	prog := NewProgram(cfg, pkgs)
 	for _, pkg := range pkgs {
 		// Annotation parse errors are findings: a typo in a //qa:
 		// directive must not silently disable enforcement.
@@ -161,7 +178,7 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 			if !cfg.enabled(chk.Name) {
 				continue
 			}
-			chk.Run(&Pass{Cfg: cfg, Pkg: pkg, diag: &diags})
+			chk.Run(&Pass{Cfg: cfg, Pkg: pkg, Prog: prog, diag: &diags})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

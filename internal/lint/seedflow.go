@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The seed-flow check guards where RNG seeds come from. Every number
+// the paper reports is a function of the experiment's base seed: shard
+// seeds are derived with ShardSeed, simulator layers are seeded from
+// cfg.Seed, and the sweep store keys results by the canonical config —
+// so a seed that is a hard-coded literal (silently pinning "random"
+// runs to one stream) or wall-clock-derived (silently unpinning them)
+// breaks reproducibility in ways no test notices.
+//
+// For each seeding call site (math/rand.NewSource and the module's
+// ShardSeed by default; Config.SeedFuncs overrides), the check taints
+// the seed argument backwards intra-procedurally:
+//
+//   - a compile-time constant, or a local variable whose every
+//     assignment is constant-derived, is flagged: seeds must flow from
+//     configuration (Spec/Config fields, parameters, flags), not
+//     literals;
+//   - an expression that reaches time.Now/Since/Until — directly or
+//     through a local — is flagged as wall-clock seeding;
+//   - anything else (parameters, struct fields, calls, dereferences,
+//     channel receives) is accepted: the value is the caller's or the
+//     configuration's choice.
+//
+// Test files are exempt (the loader never parses them); the check runs
+// inside Config.SimPackages. A deliberate fixed seed is annotated
+// //qa:allow seed-flow with a rationale.
+const CheckSeedFlow = "seed-flow"
+
+var _ = register(&Check{
+	Name: CheckSeedFlow,
+	Doc:  "RNG seeds in simulation code must flow from configuration, not literals or wall clock",
+	Run:  runSeedFlow,
+})
+
+// SeedFunc names one seeding call site: the package path and function
+// name, and which argument is the seed.
+type SeedFunc struct {
+	Pkg  string
+	Name string
+	Arg  int
+}
+
+// DefaultSeedFuncs covers the module's seeding surfaces: the math/rand
+// source constructor and the SplitMix64 shard-seed deriver.
+func DefaultSeedFuncs() []SeedFunc {
+	return []SeedFunc{
+		{Pkg: "math/rand", Name: "NewSource", Arg: 0},
+		{Pkg: "repro/internal/experiments", Name: "ShardSeed", Arg: 0},
+	}
+}
+
+func runSeedFlow(p *Pass) {
+	if !hasPrefix(p.Pkg.Path, p.Cfg.SimPackages) {
+		return
+	}
+	seedFuncs := p.Cfg.SeedFuncs
+	if seedFuncs == nil {
+		seedFuncs = DefaultSeedFuncs()
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSeedFlowFunc(p, fn, seedFuncs)
+		}
+	}
+}
+
+func checkSeedFlowFunc(p *Pass, fn *ast.FuncDecl, seedFuncs []SeedFunc) {
+	var taint *taintScope // built lazily: most functions seed nothing
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		arg := seedArg(p, call, seedFuncs)
+		if arg == nil {
+			return true
+		}
+		if taint == nil {
+			taint = newTaintScope(p, fn)
+		}
+		switch taint.classify(arg) {
+		case taintConst:
+			p.Reportf(CheckSeedFlow, arg.Pos(),
+				"seed is constant-derived: seeds must flow from configuration (Spec/Config fields, ShardSeed, flags), or mark a deliberate fixed seed with %sallow seed-flow", AnnotationPrefix)
+		case taintClock:
+			p.Reportf(CheckSeedFlow, arg.Pos(),
+				"seed is wall-clock-derived (time.Now): results must be a function of the experiment seed only")
+		}
+		return true
+	})
+}
+
+// seedArg returns the seed argument expression when call targets a
+// configured seeding function, else nil.
+func seedArg(p *Pass, call *ast.CallExpr, seedFuncs []SeedFunc) ast.Expr {
+	callee := StaticCallee(p.Pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return nil
+	}
+	for _, sf := range seedFuncs {
+		if callee.Pkg().Path() == sf.Pkg && callee.Name() == sf.Name && sf.Arg < len(call.Args) {
+			return call.Args[sf.Arg]
+		}
+	}
+	return nil
+}
+
+// taintScope classifies expressions of one function body.
+type taintScope struct {
+	p *Pass
+	// assigns collects every assignment RHS per local variable.
+	assigns map[*types.Var][]ast.Expr
+	// visiting breaks cycles through mutually-assigned locals.
+	visiting map[*types.Var]bool
+}
+
+type taintClass int
+
+const (
+	taintOK    taintClass = iota // config/parameter/call-derived
+	taintConst                   // provably constant-derived
+	taintClock                   // reaches time.Now/Since/Until
+)
+
+func newTaintScope(p *Pass, fn *ast.FuncDecl) *taintScope {
+	t := &taintScope{p: p, assigns: map[*types.Var][]ast.Expr{}, visiting: map[*types.Var]bool{}}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Tuple assignments from one call (a, b := f()) are call-derived:
+		// leave those vars unrecorded, which classifies them taintOK.
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := t.p.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = t.p.Pkg.Info.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				t.assigns[v] = append(t.assigns[v], as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return t
+}
+
+// classify computes the taint class of one expression: taintClock
+// dominates (any wall-clock leaf poisons the seed), then taintConst
+// when every leaf is constant-derived, else taintOK.
+func (t *taintScope) classify(e ast.Expr) taintClass {
+	if isWallClockExpr(t.p, e) {
+		return taintClock
+	}
+	if tv, ok := t.p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return taintConst
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return t.classify(e.X)
+	case *ast.UnaryExpr:
+		return t.classify(e.X)
+	case *ast.BinaryExpr:
+		return combineTaint(t.classify(e.X), t.classify(e.Y))
+	case *ast.CallExpr:
+		// A conversion propagates its operand's class; a real call mixes
+		// in the callee's logic, but a wall-clock argument still poisons
+		// the result (time.Now().UnixNano() arrives here as a method
+		// call on a wall-clock receiver).
+		if tv, ok := t.p.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return t.classify(e.Args[0])
+		}
+		for _, arg := range e.Args {
+			if t.classify(arg) == taintClock {
+				return taintClock
+			}
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && t.classify(sel.X) == taintClock {
+			return taintClock
+		}
+		return taintOK
+	case *ast.SelectorExpr:
+		// Field access or method value: taint follows the receiver only
+		// for wall-clock (cfg.Seed is the canonical OK case).
+		if t.classify(e.X) == taintClock {
+			return taintClock
+		}
+		return taintOK
+	case *ast.Ident:
+		return t.classifyVar(e)
+	}
+	return taintOK
+}
+
+func combineTaint(a, b taintClass) taintClass {
+	if a == taintClock || b == taintClock {
+		return taintClock
+	}
+	if a == taintConst && b == taintConst {
+		return taintConst
+	}
+	return taintOK
+}
+
+// classifyVar resolves an identifier: constants were handled by the
+// constant-value fast path, so this is about local variables — a local
+// whose every recorded assignment is constant-derived stays taintConst,
+// one fed by the wall clock is taintClock, and a variable with no
+// recorded assignment (parameter, closure capture, package-level var)
+// is the caller's choice: taintOK.
+func (t *taintScope) classifyVar(id *ast.Ident) taintClass {
+	v, ok := t.p.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return taintOK
+	}
+	rhss, ok := t.assigns[v]
+	if !ok || t.visiting[v] {
+		return taintOK
+	}
+	t.visiting[v] = true
+	defer delete(t.visiting, v)
+	class := taintConst
+	for _, rhs := range rhss {
+		c := t.classify(rhs)
+		if c == taintClock {
+			return taintClock
+		}
+		if c != taintConst {
+			class = taintOK
+		}
+	}
+	return class
+}
+
+// isWallClockExpr reports direct calls to time.Now/Since/Until.
+func isWallClockExpr(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkgName, sel := selectorPackage(p, call.Fun)
+	if pkgName == nil || pkgName.Imported().Path() != "time" {
+		return false
+	}
+	return sel == "Now" || sel == "Since" || sel == "Until"
+}

@@ -1,0 +1,85 @@
+package concurrency
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SortedLaunch fixes the order before fanning out: the goroutines see a
+// deterministic sequence.
+func SortedLaunch(m map[int]int, out chan<- int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		go work(k, out)
+	}
+}
+
+// IndexSlots writes disjoint index-addressed slots — the sanctioned
+// worker-pool pattern.
+func IndexSlots(xs []float64) []float64 {
+	res := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i] = 2 * xs[i]
+		}(i)
+	}
+	wg.Wait()
+	return res
+}
+
+// AtomicCursor mutates shared state through atomics (method calls, not
+// direct writes) exactly like the module's shard pool.
+func AtomicCursor(n int, job func(int)) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// LocalState declares everything it writes inside the closure.
+func LocalState(out chan<- int) {
+	go func() {
+		n := 0
+		for i := 0; i < 10; i++ {
+			n += i
+		}
+		out <- n
+	}()
+}
+
+// SyncCallback hands a closure capturing slice-range state to a
+// synchronous iterator — slices iterate in a fixed order.
+func SyncCallback(xs []int, each func(func())) {
+	for _, x := range xs {
+		each(func() { sink(x) })
+	}
+}
+
+// Deliberate documents an order-free launch over a map: the goroutines
+// only count, and integer addition through an atomic commutes.
+func Deliberate(m map[int]int, total *atomic.Int64) {
+	for _, v := range m {
+		//qa:allow concurrency order-free: atomic integer accumulation commutes
+		go func(v int) { total.Add(int64(v)) }(v)
+	}
+}

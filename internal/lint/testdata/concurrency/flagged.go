@@ -1,0 +1,68 @@
+// Package concurrency seeds violations of the concurrency check:
+// goroutines and worker-pool closures that couple results to map
+// iteration order or goroutine scheduling. clean.go holds the
+// order-free twins. The golden test loads this directory with
+// SimPackages covering the fixture/ prefix.
+package concurrency
+
+import "sync"
+
+func work(k int, out chan<- int) { out <- k }
+
+func sink(int) {}
+
+// GoInMapRange launches goroutines in randomized map order.
+func GoInMapRange(m map[int]int, out chan<- int) {
+	for k := range m {
+		go work(k, out) // want: concurrency
+	}
+}
+
+// GoClosureInMapRange does the same with a closure.
+func GoClosureInMapRange(m map[int]int, out chan<- int) {
+	for _, v := range m {
+		v := v
+		go func() { out <- v }() // want: concurrency
+	}
+}
+
+// PoolCaptureMapVar hands a worker pool a closure capturing the range
+// value of a map iteration.
+func PoolCaptureMapVar(m map[string]int, submit func(func())) {
+	for _, v := range m {
+		submit(func() { sink(v) }) // want: concurrency
+	}
+}
+
+// SharedAccumulate writes a captured accumulator from goroutines: the
+// float sum depends on scheduling.
+func SharedAccumulate(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sum += xs[i] // want: concurrency
+		}(i)
+	}
+	wg.Wait()
+	return sum
+}
+
+// SharedFlag rebinds a captured variable from a goroutine.
+func SharedFlag(jobs []func() bool) bool {
+	ok := true
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job func() bool) {
+			defer wg.Done()
+			if !job() {
+				ok = false // want: concurrency
+			}
+		}(job)
+	}
+	wg.Wait()
+	return ok
+}

@@ -1,0 +1,63 @@
+package errcheck
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Propagated hands the error to the caller.
+func Propagated() error {
+	return mayFail()
+}
+
+// Handled checks it on the spot.
+func Handled() bool {
+	if err := mayFail(); err != nil {
+		return false
+	}
+	return true
+}
+
+// Captured assigns both results to real variables.
+func Captured() (int, error) {
+	v, err := pair()
+	return v, err
+}
+
+// StdoutPrinting is the documented-drop convention: fmt printing to
+// stdout/stderr.
+func StdoutPrinting() {
+	fmt.Println("x")
+	fmt.Printf("y %d\n", 1)
+	fmt.Print("z")
+	fmt.Fprintf(os.Stderr, "w")
+	fmt.Fprintln(os.Stdout, "v")
+}
+
+// NeverFailingWriters never return a non-nil error by contract.
+func NeverFailingWriters() string {
+	var buf bytes.Buffer
+	var sb strings.Builder
+	buf.WriteString("a")
+	buf.WriteByte('b')
+	sb.WriteString("c")
+	fmt.Fprintf(&buf, "d")
+	fmt.Fprintf(&sb, "e")
+	h := sha256.New()
+	h.Write([]byte("f"))
+	return sb.String() + buf.String()
+}
+
+// NoError calls something with no error result at all.
+func NoError() int {
+	return len("x")
+}
+
+// Deliberate documents a best-effort drop with a rationale.
+func Deliberate() {
+	//qa:allow errcheck best-effort flush on shutdown, nothing to do on failure
+	mayFail()
+}

@@ -1,0 +1,61 @@
+// Package errcheck seeds violations of the errcheck check: error
+// returns silently discarded in statement calls, go/defer, and blank
+// assignments. clean.go holds the handled twins.
+package errcheck
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// DropStmt discards the error of a statement call.
+func DropStmt() {
+	mayFail() // want: errcheck
+}
+
+// DropBlank discards it explicitly via the blank identifier.
+func DropBlank() {
+	_ = mayFail() // want: errcheck
+}
+
+// DropPair keeps the value and blanks the error.
+func DropPair() int {
+	v, _ := pair() // want: errcheck
+	return v
+}
+
+// DropParallel blanks the error in a parallel assignment.
+func DropParallel() int {
+	v := 0
+	v, _ = pair() // want: errcheck
+	return v
+}
+
+// DropDefer defers a close and never sees its error.
+func DropDefer(c closer) {
+	defer c.Close() // want: errcheck
+}
+
+// DropGo launches a call whose error nobody can observe.
+func DropGo() {
+	go mayFail() // want: errcheck
+}
+
+// DropFprintf writes to an arbitrary writer — errors matter there.
+func DropFprintf(w io.Writer) {
+	fmt.Fprintf(w, "x") // want: errcheck
+}
+
+// DropFile writes to a file, where the error is load-bearing.
+func DropFile(f *os.File) {
+	f.Sync() // want: errcheck
+}

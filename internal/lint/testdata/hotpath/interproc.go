@@ -1,0 +1,104 @@
+// Interprocedural fixtures: the hotpath check resolves calls through
+// the module call graph, so an allocating helper is flagged at the hot
+// call site even two calls deep.
+package hotpath
+
+import (
+	"math"
+	"math/bits"
+)
+
+// leafAlloc allocates at the bottom of the chain.
+func leafAlloc(n int) []int {
+	return make([]int, n)
+}
+
+// midAlloc forwards to the allocating leaf.
+func midAlloc(n int) []int {
+	return leafAlloc(n)
+}
+
+// HotTransitive reaches an allocation two calls down.
+//
+//qa:hotpath
+func HotTransitive(n int) []int {
+	return midAlloc(n) // want: hotpath
+}
+
+func cleanLeaf(x int) int { return x * 3 }
+
+func cleanMid(x int) int { return cleanLeaf(x) + 1 }
+
+// HotTransitiveClean calls a provably allocation-free chain.
+//
+//qa:hotpath
+func HotTransitiveClean(x int) int {
+	return cleanMid(x)
+}
+
+// HotStdlibAllowlist calls the pure word-arithmetic stdlib packages.
+//
+//qa:hotpath
+func HotStdlibAllowlist(x uint64, f float64) float64 {
+	return float64(bits.OnesCount64(x)) * math.Sqrt(f)
+}
+
+// HotDynamic calls through a func value: unresolvable, conservatively
+// may-allocate.
+//
+//qa:hotpath
+func HotDynamic(f func() int) int {
+	return f() // want: hotpath
+}
+
+type counter struct {
+	n    int
+	data []int
+}
+
+func (c *counter) bump() { c.n++ }
+
+func (c *counter) grow() {
+	c.data = append(c.data, c.n)
+}
+
+// HotMethodClean calls an allocation-free method on a concrete
+// receiver.
+//
+//qa:hotpath
+func HotMethodClean(c *counter) {
+	c.bump()
+}
+
+// HotMethodAlloc calls an allocating method on a concrete receiver.
+//
+//qa:hotpath
+func HotMethodAlloc(c *counter) {
+	c.grow() // want: hotpath
+}
+
+// coldInit has a deliberate cold path, trusted via the annotation — so
+// its callers stay provably clean.
+func coldInit(c *counter) {
+	if c.data == nil {
+		//qa:allow hotpath
+		c.data = make([]int, 0, 8)
+	}
+	c.n = 0
+}
+
+// HotAllowedCallee calls a helper whose only allocation is an annotated
+// cold path.
+//
+//qa:hotpath
+func HotAllowedCallee(c *counter) {
+	coldInit(c)
+}
+
+// HotAllowedCallSite exempts one known-cold call site.
+//
+//qa:hotpath
+func HotAllowedCallSite(n int) []int {
+	//qa:allow hotpath
+	return midAlloc(n)
+}

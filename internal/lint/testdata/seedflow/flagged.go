@@ -1,0 +1,56 @@
+// Package seedflow seeds violations of the seed-flow check: RNG seeds
+// derived from literals or the wall clock instead of configuration.
+// clean.go holds the config-derived twins. The golden test loads this
+// directory with SimPackages covering the fixture/ prefix and Mix
+// registered as a module seed function.
+package seedflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Mix stands in for the module's SplitMix64 shard-seed deriver; the
+// golden test registers it as a seed function (argument 0).
+func Mix(base int64, i int) int64 {
+	return base*0x9E3779B9 + int64(i)
+}
+
+// LiteralSeed hard-codes the seed at the constructor.
+func LiteralSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want: seed-flow
+}
+
+// ConstExprSeed derives the seed from constants only.
+func ConstExprSeed() *rand.Rand {
+	return rand.New(rand.NewSource(int64(7 * 13))) // want: seed-flow
+}
+
+// LocalConstSeed launders the literal through a local variable.
+func LocalConstSeed() *rand.Rand {
+	seed := int64(7)
+	return rand.New(rand.NewSource(seed)) // want: seed-flow
+}
+
+// ChainedConstSeed launders it through two locals and arithmetic.
+func ChainedConstSeed() *rand.Rand {
+	base := int64(3)
+	seed := base + 4
+	return rand.New(rand.NewSource(seed)) // want: seed-flow
+}
+
+// WallClockSeed seeds from time.Now directly.
+func WallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want: seed-flow
+}
+
+// WallClockVarSeed seeds from a wall-clock-derived local.
+func WallClockVarSeed() *rand.Rand {
+	now := time.Now().UnixNano()
+	return rand.New(rand.NewSource(now)) // want: seed-flow
+}
+
+// LiteralShardBase feeds a constant base into the shard-seed deriver.
+func LiteralShardBase(i int) int64 {
+	return Mix(1234, i) // want: seed-flow
+}

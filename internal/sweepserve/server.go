@@ -19,6 +19,7 @@
 package sweepserve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -131,6 +132,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	// An encode error here means the client hung up; there is no one
 	// left to report it to.
+	//qa:allow errcheck client disconnect mid-response is unactionable
 	_ = json.NewEncoder(w).Encode(v)
 }
 
@@ -162,17 +164,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		cached += st.Shards.Cached
 	}
 	stats := s.store.Stats()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "sweepd_jobs_inflight %d\n", s.inflight.Load())
+	fmt.Fprintf(&buf, "sweepd_jobs_running %d\n", running)
+	fmt.Fprintf(&buf, "sweepd_jobs_done %d\n", done)
+	fmt.Fprintf(&buf, "sweepd_jobs_failed %d\n", failed)
+	fmt.Fprintf(&buf, "sweepd_submits_total %d\n", s.submits.Load())
+	fmt.Fprintf(&buf, "sweepd_shards_computed %d\n", computed)
+	fmt.Fprintf(&buf, "sweepd_shards_cached %d\n", cached)
+	fmt.Fprintf(&buf, "sweepd_store_shard_hits %d\n", stats.ShardHits)
+	fmt.Fprintf(&buf, "sweepd_store_shard_misses %d\n", stats.ShardMisses)
+	fmt.Fprintf(&buf, "sweepd_store_shard_writes %d\n", stats.ShardWrites)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "sweepd_jobs_inflight %d\n", s.inflight.Load())
-	fmt.Fprintf(w, "sweepd_jobs_running %d\n", running)
-	fmt.Fprintf(w, "sweepd_jobs_done %d\n", done)
-	fmt.Fprintf(w, "sweepd_jobs_failed %d\n", failed)
-	fmt.Fprintf(w, "sweepd_submits_total %d\n", s.submits.Load())
-	fmt.Fprintf(w, "sweepd_shards_computed %d\n", computed)
-	fmt.Fprintf(w, "sweepd_shards_cached %d\n", cached)
-	fmt.Fprintf(w, "sweepd_store_shard_hits %d\n", stats.ShardHits)
-	fmt.Fprintf(w, "sweepd_store_shard_misses %d\n", stats.ShardMisses)
-	fmt.Fprintf(w, "sweepd_store_shard_writes %d\n", stats.ShardWrites)
+	//qa:allow errcheck client disconnect mid-response is unactionable
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -379,6 +384,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
+			//qa:allow errcheck SSE client disconnect surfaces via the request context
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, blob)
 			flusher.Flush()
 			if ev.Name == eventDone || ev.Name == eventFailed {

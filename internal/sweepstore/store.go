@@ -270,15 +270,19 @@ func writeAtomic(path string, data []byte) error {
 	}
 	name := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
+		//qa:allow errcheck best-effort temp cleanup, the write error is returned
 		tmp.Close()
+		//qa:allow errcheck best-effort temp cleanup, the write error is returned
 		os.Remove(name)
 		return fmt.Errorf("sweepstore: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		//qa:allow errcheck best-effort temp cleanup, the close error is returned
 		os.Remove(name)
 		return fmt.Errorf("sweepstore: %w", err)
 	}
 	if err := os.Rename(name, path); err != nil {
+		//qa:allow errcheck best-effort temp cleanup, the rename error is returned
 		os.Remove(name)
 		return fmt.Errorf("sweepstore: %w", err)
 	}
