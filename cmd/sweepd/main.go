@@ -7,9 +7,19 @@
 // interrupted sweeps to bit-identical results. The remaining
 // subcommands are a small client for scripting against that server.
 //
+// The worker subcommand runs the other half of the distributed
+// fan-out: a shard-compute service that serve (with -peers) delegates
+// shard batches to. Workers are stateless by contract — every shard is
+// a pure function of its content-addressed config — so a worker set can
+// be grown, shrunk, or killed mid-sweep without changing a single
+// result bit.
+//
 // Usage:
 //
-//	sweepd serve  -store DIR [-addr HOST:PORT] [-workers N]
+//	sweepd serve  -store DIR [-addr HOST:PORT] [-workers N] [-store-max-bytes N]
+//	              [-peers URL,URL,...] [-dispatch-batch N] [-dispatch-inflight N]
+//	              [-dispatch-retries N] [-dispatch-timeout DUR] [-dispatch-backoff DUR]
+//	sweepd worker [-addr HOST:PORT] [-workers N] [-store DIR] [-store-max-bytes N]
 //	sweepd submit -spec FILE [-addr URL] [-wait] [-poll DUR]
 //	sweepd status -id ID [-addr URL]
 //	sweepd result -id ID [-addr URL] [-o FILE]
@@ -49,6 +59,8 @@ func main() {
 	switch cmd := os.Args[1]; cmd {
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "submit", "status", "result", "resume":
 		err = cmdClient(cmd, os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -70,7 +82,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sweepd serve  -store DIR [-addr HOST:PORT] [-workers N]
+  sweepd serve  -store DIR [-addr HOST:PORT] [-workers N] [-store-max-bytes N]
+                [-peers URL,URL,...] [-dispatch-batch N] [-dispatch-inflight N]
+                [-dispatch-retries N] [-dispatch-timeout DUR] [-dispatch-backoff DUR]
+  sweepd worker [-addr HOST:PORT] [-workers N] [-store DIR] [-store-max-bytes N]
   sweepd submit -spec FILE [-addr URL] [-wait] [-poll DUR]
   sweepd status -id ID [-addr URL]
   sweepd result -id ID [-addr URL] [-o FILE]
@@ -88,6 +103,13 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8070", "listen address")
 	storeDir := fs.String("store", "", "result store directory (required)")
 	workers := fs.Int("workers", 0, "worker pool size per sweep (0 = all CPUs); results are identical for any value")
+	maxBytes := fs.Int64("store-max-bytes", 0, "shard-cache size bound; LRU GC evicts over it (0 = unlimited)")
+	peers := fs.String("peers", "", "comma-separated worker URLs to fan shard compute out to")
+	batch := fs.Int("dispatch-batch", sweepserve.DefaultBatchSize, "shards per dispatched batch")
+	inflight := fs.Int("dispatch-inflight", sweepserve.DefaultInFlight, "batches in flight per worker")
+	retries := fs.Int("dispatch-retries", sweepserve.DefaultRetries, "retries per batch before a worker is marked dead")
+	timeout := fs.Duration("dispatch-timeout", sweepserve.DefaultTimeout, "per-batch request timeout")
+	backoff := fs.Duration("dispatch-backoff", sweepserve.DefaultBackoff, "first retry delay (doubled per retry)")
 	//qa:allow errcheck ExitOnError flag sets never return an error
 	fs.Parse(args)
 	switch {
@@ -99,13 +121,26 @@ func cmdServe(args []string) error {
 		return usageError("serve: -addr must not be empty")
 	case *workers < 0:
 		return usageError(fmt.Sprintf("serve: -workers must be >= 0, got %d", *workers))
+	case *maxBytes < 0:
+		return usageError(fmt.Sprintf("serve: -store-max-bytes must be >= 0, got %d", *maxBytes))
+	}
+	dispatch, err := dispatchOptions(fs, *peers, *batch, *inflight, *retries, *timeout, *backoff, *workers)
+	if err != nil {
+		return err
 	}
 
 	st, err := sweepstore.Open(*storeDir)
 	if err != nil {
 		return err
 	}
-	srv, err := sweepserve.New(sweepserve.Options{Store: st, Workers: *workers})
+	st.SetMaxBytes(*maxBytes)
+	opt := sweepserve.Options{Store: st, Workers: *workers}
+	if dispatch != nil {
+		if opt.Dispatch, err = sweepserve.NewDispatcher(*dispatch); err != nil {
+			return usageError(fmt.Sprintf("serve: %v", err))
+		}
+	}
+	srv, err := sweepserve.New(opt)
 	if err != nil {
 		return err
 	}
@@ -115,8 +150,12 @@ func cmdServe(args []string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sweepd: serving on %s (store %s, version %s)\n",
-		*addr, *storeDir, sweepstore.Version)
+	role := "serving"
+	if dispatch != nil {
+		role = fmt.Sprintf("serving (dispatching to %d workers)", len(dispatch.Peers))
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: %s on %s (store %s, version %s)\n",
+		role, *addr, *storeDir, sweepstore.Version)
 
 	select {
 	case err := <-errc:
@@ -133,6 +172,98 @@ func cmdServe(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// dispatchOptions validates the serve fan-out flags upfront (exit 2,
+// before the store is opened or the listener bound). With no -peers, a
+// dispatch tuning flag set on the command line is a contradiction worth
+// rejecting rather than ignoring.
+func dispatchOptions(fs *flag.FlagSet, peers string, batch, inflight, retries int,
+	timeout, backoff time.Duration, workers int) (*sweepserve.DispatchOptions, error) {
+	if peers == "" {
+		var stray string
+		fs.Visit(func(f *flag.Flag) {
+			if strings.HasPrefix(f.Name, "dispatch-") && stray == "" {
+				stray = f.Name
+			}
+		})
+		if stray != "" {
+			return nil, usageError(fmt.Sprintf("serve: -%s requires -peers", stray))
+		}
+		return nil, nil
+	}
+	list, err := sweepserve.ParsePeers(peers)
+	if err != nil {
+		return nil, usageError(fmt.Sprintf("serve: -peers: %v", err))
+	}
+	opt := sweepserve.DispatchOptions{
+		Peers:        list,
+		BatchSize:    batch,
+		InFlight:     inflight,
+		Retries:      retries,
+		Timeout:      timeout,
+		Backoff:      backoff,
+		LocalWorkers: workers,
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, usageError(fmt.Sprintf("serve: %v", err))
+	}
+	return &opt, nil
+}
+
+// cmdWorker runs the shard-compute worker service. -store is optional:
+// with one, the worker keeps a local shard cache (shard keys are
+// network-portable content addresses, so its hits are valid for any
+// coordinator); without one it recomputes every batch.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8071", "listen address")
+	storeDir := fs.String("store", "", "optional local shard-cache directory")
+	workers := fs.Int("workers", 0, "compute pool size per batch (0 = all CPUs); results are identical for any value")
+	maxBytes := fs.Int64("store-max-bytes", 0, "shard-cache size bound; LRU GC evicts over it (0 = unlimited)")
+	//qa:allow errcheck ExitOnError flag sets never return an error
+	fs.Parse(args)
+	switch {
+	case fs.NArg() > 0:
+		return usageError(fmt.Sprintf("worker: unexpected argument %q", fs.Arg(0)))
+	case *addr == "":
+		return usageError("worker: -addr must not be empty")
+	case *workers < 0:
+		return usageError(fmt.Sprintf("worker: -workers must be >= 0, got %d", *workers))
+	case *maxBytes < 0:
+		return usageError(fmt.Sprintf("worker: -store-max-bytes must be >= 0, got %d", *maxBytes))
+	case *storeDir == "" && *maxBytes > 0:
+		return usageError("worker: -store-max-bytes requires -store")
+	}
+
+	wopt := sweepserve.WorkerOptions{Workers: *workers}
+	if *storeDir != "" {
+		st, err := sweepstore.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		st.SetMaxBytes(*maxBytes)
+		wopt.Store = st
+	}
+	hs := &http.Server{Addr: *addr, Handler: sweepserve.NewWorker(wopt)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sweepd: worker on %s (version %s)\n", *addr, sweepstore.Version)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// In-flight batches finish within the drain window; the coordinator
+	// retries or fails over anything that does not.
+	fmt.Fprintln(os.Stderr, "sweepd: worker shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
 }
 
 func cmdClient(cmd string, args []string) error {

@@ -1,0 +1,645 @@
+// The coordinator half of the distributed sweep fan-out: a Dispatcher
+// partitions a job's missing shards into batches and streams them to a
+// configured set of remote workers, pipelined — each peer keeps a
+// bounded number of batches in flight and pulls the next the moment one
+// completes, so a slow peer never stalls the rest of the fleet behind a
+// barrier. Failures degrade, never corrupt: a batch that errors is
+// retried on its peer with exponential backoff, a peer that exhausts
+// its retries is marked dead and its batch requeued for the survivors,
+// and when every peer is dead a local fallback drains the queue with
+// the coordinator's own engine stack. Because every shard's runs are a
+// pure function of its ShardConfig and the fold visits shards in index
+// order, the merged results are byte-identical to a local -workers 1
+// run for any worker set, batch size, or failure interleaving.
+package sweepserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweepstore"
+)
+
+// Dispatch tuning defaults.
+const (
+	// DefaultBatchSize is the number of shards per dispatched batch.
+	DefaultBatchSize = 8
+	// DefaultInFlight is the number of batches each peer keeps in flight.
+	DefaultInFlight = 2
+	// DefaultRetries is the number of re-attempts on the same peer after
+	// a failed batch, before the peer is marked dead.
+	DefaultRetries = 2
+	// DefaultTimeout bounds one batch request.
+	DefaultTimeout = 2 * time.Minute
+	// DefaultBackoff is the first retry delay (doubled per retry).
+	DefaultBackoff = 250 * time.Millisecond
+)
+
+// DispatchOptions configures a Dispatcher.
+type DispatchOptions struct {
+	// Peers are the worker base URLs (normalize with ParsePeers).
+	// Required: at least one, no duplicates, no empties.
+	Peers []string
+	// BatchSize is the number of shards per dispatched batch (> 0).
+	BatchSize int
+	// InFlight bounds each peer's concurrently outstanding batches (> 0).
+	InFlight int
+	// Retries is the number of re-attempts on the same peer after a
+	// failed batch (>= 0); after that the peer is marked dead and the
+	// batch fails over.
+	Retries int
+	// Timeout bounds one batch request end to end (> 0).
+	Timeout time.Duration
+	// Backoff is the first retry delay, doubled per retry (>= 0).
+	Backoff time.Duration
+	// LocalWorkers bounds the local-fallback compute pool. Zero means
+	// GOMAXPROCS.
+	LocalWorkers int
+}
+
+// withDefaults fills the zero-valued tuning knobs.
+func (o DispatchOptions) withDefaults() DispatchOptions {
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.InFlight == 0 {
+		o.InFlight = DefaultInFlight
+	}
+	if o.Timeout == 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.Backoff == 0 {
+		o.Backoff = DefaultBackoff
+	}
+	return o
+}
+
+// Validate rejects option sets that cannot dispatch: no peers,
+// duplicate or empty peer addresses, or non-positive tuning knobs. The
+// flag layer calls this before any work runs (exit 2), the constructor
+// re-checks it.
+func (o DispatchOptions) Validate() error {
+	if len(o.Peers) == 0 {
+		return fmt.Errorf("dispatch: no worker peers configured")
+	}
+	seen := make(map[string]int, len(o.Peers))
+	for i, p := range o.Peers {
+		if strings.TrimSpace(p) == "" {
+			return fmt.Errorf("dispatch: peer %d is empty", i)
+		}
+		if j, dup := seen[p]; dup {
+			return fmt.Errorf("dispatch: duplicate peer %q (positions %d and %d)", p, j, i)
+		}
+		seen[p] = i
+	}
+	if o.BatchSize <= 0 {
+		return fmt.Errorf("dispatch: batch size must be > 0, got %d", o.BatchSize)
+	}
+	if o.InFlight <= 0 {
+		return fmt.Errorf("dispatch: in-flight bound must be > 0, got %d", o.InFlight)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("dispatch: retries must be >= 0, got %d", o.Retries)
+	}
+	if o.Timeout <= 0 {
+		return fmt.Errorf("dispatch: timeout must be positive, got %v", o.Timeout)
+	}
+	if o.Backoff < 0 {
+		return fmt.Errorf("dispatch: backoff must be >= 0, got %v", o.Backoff)
+	}
+	if o.LocalWorkers < 0 {
+		return fmt.Errorf("dispatch: local workers must be >= 0, got %d", o.LocalWorkers)
+	}
+	return nil
+}
+
+// ParsePeers splits a comma-separated worker list into normalized base
+// URLs: bare host:port gets the http scheme, trailing slashes are
+// trimmed, and empty or duplicate entries are rejected — the upfront
+// flag validation of -peers.
+func ParsePeers(list string) ([]string, error) {
+	parts := strings.Split(list, ",")
+	peers := make([]string, 0, len(parts))
+	seen := map[string]bool{}
+	for i, part := range parts {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			return nil, fmt.Errorf("peer %d is empty", i)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		u, err := url.Parse(addr)
+		if err != nil {
+			return nil, fmt.Errorf("peer %q: %v", part, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("peer %q: scheme %q not supported (want http or https)", part, u.Scheme)
+		}
+		if u.Host == "" {
+			return nil, fmt.Errorf("peer %q: no host", part)
+		}
+		addr = strings.TrimRight(u.String(), "/")
+		if seen[addr] {
+			return nil, fmt.Errorf("duplicate peer %q", addr)
+		}
+		seen[addr] = true
+		peers = append(peers, addr)
+	}
+	return peers, nil
+}
+
+// DispatchStats is a snapshot of the dispatcher's monotonic counters
+// (and the current in-flight gauge).
+type DispatchStats struct {
+	// Batches counts successfully applied batches; Retries re-attempts
+	// after failed requests; PeerFailures peers marked dead.
+	Batches      int64
+	Retries      int64
+	PeerFailures int64
+	// RemoteShards / LocalShards split computed shards by where they ran.
+	RemoteShards int64
+	LocalShards  int64
+	// InFlight is the number of batch requests currently outstanding.
+	InFlight int64
+}
+
+// Dispatcher fans shard batches out to remote workers. One Dispatcher
+// serves every job of a Server; its counters aggregate across jobs.
+type Dispatcher struct {
+	opt    DispatchOptions
+	client *http.Client
+
+	batches, retries, failures atomic.Int64
+	remoteShards, localShards  atomic.Int64
+	inflight                   atomic.Int64
+}
+
+// NewDispatcher validates opt and builds a Dispatcher.
+func NewDispatcher(opt DispatchOptions) (*Dispatcher, error) {
+	opt = opt.withDefaults()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Dispatcher{opt: opt, client: &http.Client{}}, nil
+}
+
+// Peers returns the configured worker set.
+func (d *Dispatcher) Peers() []string { return d.opt.Peers }
+
+// Stats returns a snapshot of the dispatch counters.
+func (d *Dispatcher) Stats() DispatchStats {
+	return DispatchStats{
+		Batches:      d.batches.Load(),
+		Retries:      d.retries.Load(),
+		PeerFailures: d.failures.Load(),
+		RemoteShards: d.remoteShards.Load(),
+		LocalShards:  d.localShards.Load(),
+		InFlight:     d.inflight.Load(),
+	}
+}
+
+// Run executes spec with shard compute fanned out to the worker set,
+// st as the shard cache and checkpoint, progress receiving completed
+// points in ascending order (the SSE contract), and note observing
+// each shard as it resolves (cached reports a store hit). The folded
+// results are byte-identical to a local single-worker run.
+//
+// Adaptive specs (AdaptRelWidth > 0) are rejected: their batch-barrier
+// stop rule is inherently sequential, so the server runs them through
+// the local cached pipeline instead.
+func (d *Dispatcher) Run(ctx context.Context, st *sweepstore.Store, spec experiments.Spec,
+	progress func(point int, per float64), note func(sh experiments.Shard, cached bool)) ([]experiments.PointResult, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.AdaptRelWidth > 0 {
+		return nil, fmt.Errorf("dispatch: adaptive sweeps are not distributable (run them through the local pipeline)")
+	}
+	n := spec.NumShards()
+	keys := make([]string, n)
+	for i := range keys {
+		k, err := sweepstore.ShardKey(spec.ShardConfig(spec.Shard(i)))
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	runs := make([][]experiments.LERResult, n)
+	tracker := newPointTracker(spec, progress)
+
+	// Resolve cache hits locally first; only the misses travel.
+	var missing []int
+	for i := 0; i < n; i++ {
+		sh := spec.Shard(i)
+		if rs, ok := st.GetShard(keys[i], sh.Count, sh.Seed); ok {
+			runs[i] = rs
+			if note != nil {
+				note(sh, true)
+			}
+			tracker.shardDone(sh.Point)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		if err := d.dispatch(ctx, st, spec, keys, missing, runs, tracker, note); err != nil {
+			return nil, err
+		}
+	}
+	out := experiments.FoldShards(spec, runs)
+	tracker.finishDegenerate()
+	return out, nil
+}
+
+// dispatch drains the missing shards through the peer set.
+func (d *Dispatcher) dispatch(ctx context.Context, st *sweepstore.Store, spec experiments.Spec,
+	keys []string, missing []int, runs [][]experiments.LERResult,
+	tracker *pointTracker, note func(sh experiments.Shard, cached bool)) error {
+	var batches [][]int
+	for len(missing) > 0 {
+		size := d.opt.BatchSize
+		if size > len(missing) {
+			size = len(missing)
+		}
+		batches = append(batches, missing[:size])
+		missing = missing[size:]
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &dispatchRun{
+		d: d, st: st, spec: spec, keys: keys, runs: runs,
+		tracker: tracker, note: note,
+		// Every batch is either queued or held by exactly one goroutine,
+		// so cap len(batches) makes requeues non-blocking.
+		queue:   make(chan []int, len(batches)),
+		done:    make(chan struct{}),
+		allDead: make(chan struct{}),
+		cancel:  cancel,
+	}
+	r.pending.Store(int64(len(batches)))
+	for _, b := range batches {
+		r.queue <- b
+	}
+	r.alive.Store(int64(len(d.opt.Peers)))
+
+	var wg sync.WaitGroup
+	for _, peer := range d.opt.Peers {
+		ps := &peerState{run: r, url: peer}
+		for slot := 0; slot < d.opt.InFlight; slot++ {
+			wg.Add(1)
+			go ps.loop(ctx, &wg)
+		}
+	}
+	wg.Add(1)
+	go r.localLoop(ctx, &wg)
+	wg.Wait()
+
+	if err := r.loadErr(); err != nil {
+		return err
+	}
+	if r.pending.Load() != 0 {
+		// Only a cancelled parent context leaves batches behind.
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// dispatchRun is the per-sweep dispatch state shared by the peer slots
+// and the local fallback.
+type dispatchRun struct {
+	d       *Dispatcher
+	st      *sweepstore.Store
+	spec    experiments.Spec
+	keys    []string
+	runs    [][]experiments.LERResult
+	tracker *pointTracker
+	note    func(sh experiments.Shard, cached bool)
+
+	queue   chan []int
+	pending atomic.Int64
+	done    chan struct{} // closed when pending hits zero
+	alive   atomic.Int64
+	allDead chan struct{} // closed when the last peer dies
+	cancel  context.CancelFunc
+
+	errMu sync.Mutex
+	err   error
+}
+
+// fail records the first fatal error and cancels the run.
+func (r *dispatchRun) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.cancel()
+}
+
+func (r *dispatchRun) loadErr() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+// requeue puts a batch back for another holder. The queue is sized for
+// every batch, so this never blocks.
+func (r *dispatchRun) requeue(batch []int) { r.queue <- batch }
+
+// batchDone retires one batch; the last one releases every loop.
+func (r *dispatchRun) batchDone() {
+	if r.pending.Add(-1) == 0 {
+		close(r.done)
+	}
+}
+
+// peerDied marks one peer dead; the last death wakes the local
+// fallback.
+func (r *dispatchRun) peerDied() {
+	if r.alive.Add(-1) == 0 {
+		close(r.allDead)
+	}
+}
+
+// apply verifies one batch response end to end, then persists and
+// records every shard. Verify-all-then-apply keeps a malformed response
+// side-effect free: a batch is either fully applied once or fully
+// retried, so no shard is ever double-counted. A store write failure is
+// fatal (r.fail) — the cache is the job's checkpoint.
+func (r *dispatchRun) apply(batch []int, resp *ShardBatchResponse) error {
+	if len(resp.Shards) != len(batch) {
+		return fmt.Errorf("batch of %d shards answered with %d", len(batch), len(resp.Shards))
+	}
+	for k, sr := range resp.Shards {
+		i := batch[k]
+		sh := r.spec.Shard(i)
+		if sr.Index != i {
+			return fmt.Errorf("shard %d answered out of order (got index %d)", i, sr.Index)
+		}
+		if sr.Key != r.keys[i] {
+			return fmt.Errorf("shard %d: content address mismatch (worker %s, coordinator %s)", i, sr.Key, r.keys[i])
+		}
+		if len(sr.Runs) != sh.Count {
+			return fmt.Errorf("shard %d: %d runs, want %d", i, len(sr.Runs), sh.Count)
+		}
+	}
+	for k, sr := range resp.Shards {
+		i := batch[k]
+		sh := r.spec.Shard(i)
+		experiments.NormalizeLERRuns(sr.Runs)
+		if err := r.st.PutShard(r.keys[i], sh.Seed, sr.Runs); err != nil {
+			r.fail(err)
+			return nil
+		}
+		r.runs[i] = sr.Runs
+		r.d.remoteShards.Add(1)
+		if r.note != nil {
+			r.note(sh, false)
+		}
+		r.tracker.shardDone(sh.Point)
+	}
+	r.d.batches.Add(1)
+	r.batchDone()
+	return nil
+}
+
+// peerState is one remote worker's dispatch state, shared by its
+// InFlight slots.
+type peerState struct {
+	run  *dispatchRun
+	url  string
+	dead atomic.Bool
+}
+
+// loop pulls batches for this peer until the run completes, the context
+// cancels, or the peer dies.
+func (p *peerState) loop(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		if p.dead.Load() {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-p.run.done:
+			return
+		case batch := <-p.run.queue:
+			if p.dead.Load() {
+				// A sibling slot marked the peer dead while this one was
+				// blocked on the queue: hand the batch straight back.
+				p.run.requeue(batch)
+				return
+			}
+			p.process(ctx, batch)
+		}
+	}
+}
+
+// process runs one batch against the peer: attempt, retry with
+// exponential backoff, and on exhaustion mark the peer dead and fail
+// the batch over to the survivors (or the local fallback).
+func (p *peerState) process(ctx context.Context, batch []int) {
+	r := p.run
+	r.d.inflight.Add(1)
+	defer r.d.inflight.Add(-1)
+	backoff := r.d.opt.Backoff
+	for attempt := 0; attempt <= r.d.opt.Retries; attempt++ {
+		if attempt > 0 {
+			r.d.retries.Add(1)
+			if backoff > 0 {
+				t := time.NewTimer(backoff)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					r.requeue(batch)
+					return
+				case <-t.C:
+				}
+				backoff *= 2
+			}
+		}
+		resp, retryable, err := r.d.postBatch(ctx, p.url, r.spec, batch)
+		if err == nil {
+			if err := r.apply(batch, resp); err == nil {
+				return
+			}
+			// A malformed response counts as a failed attempt.
+		} else if !retryable {
+			break
+		}
+		if ctx.Err() != nil {
+			r.requeue(batch)
+			return
+		}
+	}
+	if !p.dead.Swap(true) {
+		r.d.failures.Add(1)
+		r.peerDied()
+	}
+	r.requeue(batch)
+}
+
+// postBatch sends one shard batch to a peer. retryable is false for
+// responses that can never succeed on a retry (a 4xx: version or spec
+// mismatch), true for transport errors and 5xxs.
+func (d *Dispatcher) postBatch(ctx context.Context, peer string, spec experiments.Spec, indices []int) (*ShardBatchResponse, bool, error) {
+	body, err := json.Marshal(ShardBatchRequest{Version: sweepstore.Version, Spec: spec, Indices: indices})
+	if err != nil {
+		return nil, false, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, d.opt.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	//qa:allow errcheck response body close after full read, nothing to recover
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		msg := string(bytes.TrimSpace(raw))
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, resp.StatusCode/100 != 4, fmt.Errorf("worker %s: HTTP %d: %s", peer, resp.StatusCode, msg)
+	}
+	var out ShardBatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, true, err
+	}
+	return &out, false, nil
+}
+
+// localLoop is the fallback of last resort: it engages only once every
+// peer is dead (never competing with healthy workers for shards) and
+// drains the queue with the coordinator's own engine stack, so a sweep
+// always completes even with the whole fleet gone.
+func (r *dispatchRun) localLoop(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	select {
+	case <-ctx.Done():
+		return
+	case <-r.done:
+		return
+	case <-r.allDead:
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-r.done:
+			return
+		case batch := <-r.queue:
+			r.computeLocal(ctx, batch)
+		}
+	}
+}
+
+// computeLocal computes one batch with the local engine stack (the same
+// shard path a worker runs remotely).
+func (r *dispatchRun) computeLocal(ctx context.Context, batch []int) {
+	runs, err := experiments.RunShardBatch(ctx, r.spec, batch, experiments.RunOptions{Workers: r.d.opt.LocalWorkers})
+	if err != nil {
+		if ctx.Err() != nil {
+			r.requeue(batch)
+			return
+		}
+		r.fail(err)
+		return
+	}
+	for k, i := range batch {
+		sh := r.spec.Shard(i)
+		if err := r.st.PutShard(r.keys[i], sh.Seed, runs[k]); err != nil {
+			r.fail(err)
+			return
+		}
+		r.runs[i] = runs[k]
+		r.d.localShards.Add(1)
+		if r.note != nil {
+			r.note(sh, false)
+		}
+		r.tracker.shardDone(sh.Point)
+	}
+	r.batchDone()
+}
+
+// pointTracker reproduces the pipeline's in-order Progress contract for
+// the dispatcher: point i is announced once all its shards and all
+// earlier points are complete, whatever the completion interleaving.
+type pointTracker struct {
+	mu        sync.Mutex
+	pers      []float64
+	remaining []int
+	next      int
+	fn        func(point int, per float64)
+}
+
+// newPointTracker builds a tracker; a nil fn (no subscriber) yields a
+// nil tracker, whose methods are no-ops.
+func newPointTracker(spec experiments.Spec, fn func(point int, per float64)) *pointTracker {
+	if fn == nil {
+		return nil
+	}
+	spp := 0
+	if len(spec.PERs) > 0 {
+		spp = spec.NumShards() / len(spec.PERs)
+	}
+	if spp == 0 {
+		// Degenerate sweep (no shards): announced by finishDegenerate.
+		return &pointTracker{pers: spec.PERs, fn: fn}
+	}
+	remaining := make([]int, len(spec.PERs))
+	for i := range remaining {
+		remaining[i] = spp
+	}
+	return &pointTracker{pers: spec.PERs, remaining: remaining, fn: fn}
+}
+
+// shardDone retires one shard of point p, announcing every newly
+// completed point in ascending order.
+func (t *pointTracker) shardDone(p int) {
+	if t == nil || t.remaining == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.remaining[p]--
+	for t.next < len(t.pers) && t.remaining[t.next] == 0 {
+		t.fn(t.next, t.pers[t.next])
+		t.next++
+	}
+}
+
+// finishDegenerate announces the points of a shardless sweep (Samples
+// 0), keeping the per-point Progress contract.
+func (t *pointTracker) finishDegenerate() {
+	if t == nil || t.remaining != nil {
+		return
+	}
+	for i, per := range t.pers {
+		t.fn(i, per)
+	}
+}

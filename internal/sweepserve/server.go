@@ -37,13 +37,18 @@ type Options struct {
 	Store *sweepstore.Store
 	// Workers bounds each job's worker pool. Zero means GOMAXPROCS.
 	Workers int
+	// Dispatch, when non-nil, fans shard compute out to its remote
+	// worker set. Adaptive sweeps (sequential by construction) still run
+	// through the local cached pipeline.
+	Dispatch *Dispatcher
 }
 
 // Server is the sweep service. It implements http.Handler.
 type Server struct {
-	store   *sweepstore.Store
-	workers int
-	mux     *http.ServeMux
+	store    *sweepstore.Store
+	workers  int
+	dispatch *Dispatcher
+	mux      *http.ServeMux
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -58,10 +63,11 @@ func New(opt Options) (*Server, error) {
 		return nil, fmt.Errorf("sweepserve: nil store")
 	}
 	s := &Server{
-		store:   opt.Store,
-		workers: opt.Workers,
-		mux:     http.NewServeMux(),
-		jobs:    make(map[string]*job),
+		store:    opt.Store,
+		workers:  opt.Workers,
+		dispatch: opt.Dispatch,
+		mux:      http.NewServeMux(),
+		jobs:     make(map[string]*job),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -163,7 +169,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		computed += st.Shards.Computed
 		cached += st.Shards.Cached
 	}
-	stats := s.store.Stats()
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "sweepd_jobs_inflight %d\n", s.inflight.Load())
 	fmt.Fprintf(&buf, "sweepd_jobs_running %d\n", running)
@@ -172,9 +177,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&buf, "sweepd_submits_total %d\n", s.submits.Load())
 	fmt.Fprintf(&buf, "sweepd_shards_computed %d\n", computed)
 	fmt.Fprintf(&buf, "sweepd_shards_cached %d\n", cached)
-	fmt.Fprintf(&buf, "sweepd_store_shard_hits %d\n", stats.ShardHits)
-	fmt.Fprintf(&buf, "sweepd_store_shard_misses %d\n", stats.ShardMisses)
-	fmt.Fprintf(&buf, "sweepd_store_shard_writes %d\n", stats.ShardWrites)
+	writeStoreMetrics(&buf, "sweepd", s.store)
+	if d := s.dispatch; d != nil {
+		ds := d.Stats()
+		fmt.Fprintf(&buf, "sweepd_dispatch_peers %d\n", len(d.Peers()))
+		fmt.Fprintf(&buf, "sweepd_dispatch_batches_total %d\n", ds.Batches)
+		fmt.Fprintf(&buf, "sweepd_dispatch_retries_total %d\n", ds.Retries)
+		fmt.Fprintf(&buf, "sweepd_dispatch_peer_failures_total %d\n", ds.PeerFailures)
+		fmt.Fprintf(&buf, "sweepd_dispatch_shards_remote %d\n", ds.RemoteShards)
+		fmt.Fprintf(&buf, "sweepd_dispatch_shards_local %d\n", ds.LocalShards)
+		fmt.Fprintf(&buf, "sweepd_dispatch_inflight %d\n", ds.InFlight)
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	//qa:allow errcheck client disconnect mid-response is unactionable
 	w.Write(buf.Bytes())
@@ -239,20 +252,15 @@ func (s *Server) startJob(spec experiments.Spec) (*job, int, error) {
 	return j, http.StatusAccepted, nil
 }
 
-// runJob drives one sweep through the shared cached pipeline.
+// runJob drives one sweep to a stored result: through the distributed
+// dispatcher when one is configured (and the sweep is distributable),
+// through the shared local cached pipeline otherwise. Both paths write
+// the same shards to the same store and fold in the same index order,
+// so the result bytes do not depend on the route.
 func (s *Server) runJob(ctx context.Context, j *job) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	cfg, err := j.spec.SweepConfig()
-	if err != nil {
-		j.fail(err)
-		return
-	}
-	cfg.Workers = s.workers
-	cfg.Progress = func(point int, per float64) { j.pointDone(point, per) }
-	pts, err := sweepstore.RunCached(ctx, s.store, cfg, func(_ experiments.Shard, cached bool) {
-		j.noteShard(cached)
-	})
+	pts, err := s.runSweep(ctx, j)
 	if err != nil {
 		j.fail(err)
 		return
@@ -262,6 +270,27 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		return
 	}
 	j.finish(pts)
+}
+
+// runSweep computes a job's points. Adaptive sweeps stay local: their
+// Wilson-interval stop rule decides each batch from the last one's
+// counts, a sequential dependency no fan-out can honor.
+func (s *Server) runSweep(ctx context.Context, j *job) ([]experiments.PointResult, error) {
+	//qa:allow float-eq zero is the adaptive-off sentinel, an exact flag value not a measurement
+	if s.dispatch != nil && j.spec.AdaptRelWidth == 0 {
+		return s.dispatch.Run(ctx, s.store, j.spec,
+			func(point int, per float64) { j.pointDone(point, per) },
+			func(_ experiments.Shard, cached bool) { j.noteShard(cached) })
+	}
+	cfg, err := j.spec.SweepConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = s.workers
+	cfg.Progress = func(point int, per float64) { j.pointDone(point, per) }
+	return sweepstore.RunCached(ctx, s.store, cfg, func(_ experiments.Shard, cached bool) {
+		j.noteShard(cached)
+	})
 }
 
 func (s *Server) jobByID(id string) *job {

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/experiments"
@@ -81,7 +82,8 @@ func ShardKey(sc experiments.ShardConfig) (string, error) {
 	return keyOf("shard", sc)
 }
 
-// Stats are the store's monotonic operation counters.
+// Stats are the store's monotonic operation counters, plus the current
+// shard-payload footprint.
 type Stats struct {
 	// ShardHits / ShardMisses count GetShard outcomes (a corrupt or
 	// mismatched file counts as a miss).
@@ -89,6 +91,14 @@ type Stats struct {
 	ShardMisses int64
 	// ShardWrites counts persisted shards.
 	ShardWrites int64
+	// ShardBytes is the current byte footprint of the shards/ tree
+	// (spec/result checkpoints under jobs/ are pins, not counted).
+	ShardBytes int64
+	// GCRuns / GCEvicted / GCReclaimedBytes count garbage-collection
+	// passes, evicted shard files, and bytes reclaimed (see Store.GC).
+	GCRuns           int64
+	GCEvicted        int64
+	GCReclaimedBytes int64
 }
 
 // Store is an on-disk content-addressed sweep cache. All methods are
@@ -98,6 +108,15 @@ type Store struct {
 	root string
 
 	hits, misses, writes atomic.Int64
+
+	// size tracks the shards/ byte footprint (scanned at Open, updated
+	// by PutShard and GC). maxBytes > 0 arms automatic GC after writes
+	// and access-time bumps on hits (see gc.go).
+	size     atomic.Int64
+	maxBytes atomic.Int64
+	gcMu     sync.Mutex
+
+	gcRuns, gcEvicted, gcReclaimed atomic.Int64
 }
 
 // Open opens (creating if needed) a store rooted at dir. A root written
@@ -124,7 +143,13 @@ func Open(dir string) (*Store, error) {
 	} else {
 		return nil, fmt.Errorf("sweepstore: %w", err)
 	}
-	return &Store{root: dir}, nil
+	s := &Store{root: dir}
+	size, err := s.scanShardBytes()
+	if err != nil {
+		return nil, err
+	}
+	s.size.Store(size)
+	return s, nil
 }
 
 // Root returns the store's root directory.
@@ -133,9 +158,13 @@ func (s *Store) Root() string { return s.root }
 // Stats returns a snapshot of the operation counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		ShardHits:   s.hits.Load(),
-		ShardMisses: s.misses.Load(),
-		ShardWrites: s.writes.Load(),
+		ShardHits:        s.hits.Load(),
+		ShardMisses:      s.misses.Load(),
+		ShardWrites:      s.writes.Load(),
+		ShardBytes:       s.size.Load(),
+		GCRuns:           s.gcRuns.Load(),
+		GCEvicted:        s.gcEvicted.Load(),
+		GCReclaimedBytes: s.gcReclaimed.Load(),
 	}
 }
 
@@ -172,17 +201,17 @@ func (s *Store) GetShard(key string, wantShots int, wantSeed int64) ([]experimen
 	// Recompute the derived ratio from the stored integers: the counts
 	// are the ground truth and the division is exact to replay, so the
 	// round trip is bit-identical by construction.
-	for i := range sf.Runs {
-		sf.Runs[i].LER = 0
-		if sf.Runs[i].Windows > 0 {
-			sf.Runs[i].LER = float64(sf.Runs[i].LogicalErrors) / float64(sf.Runs[i].Windows)
-		}
-	}
+	experiments.NormalizeLERRuns(sf.Runs)
 	s.hits.Add(1)
+	if s.maxBytes.Load() > 0 {
+		s.touch(s.shardPath(key))
+	}
 	return sf.Runs, true
 }
 
-// PutShard persists one computed shard under key.
+// PutShard persists one computed shard under key. When a size bound is
+// armed (SetMaxBytes) and the write pushes the shard footprint over it,
+// a GC pass runs before returning.
 func (s *Store) PutShard(key string, seed int64, runs []experiments.LERResult) error {
 	blob, err := json.Marshal(shardFile{Seed: seed, Shots: len(runs), Runs: runs})
 	if err != nil {
@@ -192,10 +221,21 @@ func (s *Store) PutShard(key string, seed int64, runs []experiments.LERResult) e
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("sweepstore: %w", err)
 	}
+	// An overwrite replaces the old payload, so only the delta counts.
+	var prev int64
+	if fi, err := os.Stat(path); err == nil {
+		prev = fi.Size()
+	}
 	if err := writeAtomic(path, blob); err != nil {
 		return err
 	}
 	s.writes.Add(1)
+	s.size.Add(int64(len(blob)) - prev)
+	if limit := s.maxBytes.Load(); limit > 0 && s.size.Load() > limit {
+		if _, err := s.GC(limit); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
